@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure, prints it (so the
+captured bench output doubles as the reproduction record), and asserts the
+paper's *shape* claims — who wins, rough factors, crossovers — not absolute
+milliseconds (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once through pytest-benchmark and return result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

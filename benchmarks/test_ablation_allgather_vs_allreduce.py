@@ -1,0 +1,36 @@
+"""Ablation (DESIGN.md §5.3): the all-gather fallback's cost.
+
+Sparse/quantized schemes cannot ride all-reduce (two tensors / non-float
+dtypes) and fall back to all-gather + local sum. This ablation quantifies
+how much of those schemes' slowdown is the collective switch itself, by
+simulating a counterfactual Top-K that *could* use all-reduce.
+"""
+
+from repro.compression.notation import scheme_spec
+from repro.parallel.topology import ClusterTopology, LinkType
+from repro.simulator import SimSetting, allgather_time, allreduce_time
+
+
+def test_allgather_penalty_grows_with_world(once):
+    def run():
+        spec = scheme_spec("T2")
+        batch, seq, hidden = 32, 512, 1024
+        msg = int(round(spec.fraction * batch * seq * hidden)) * 6
+        rows = []
+        for world in (2, 4, 8):
+            ag = allgather_time(msg, world, LinkType.PCIE)
+            ar = allreduce_time(msg, world, LinkType.PCIE)
+            rows.append({"world": world, "allgather_ms": ag,
+                         "allreduce_ms": ar, "penalty": ag / ar})
+        return rows
+
+    rows = once(run)
+    print("\nAblation — all-gather vs (counterfactual) all-reduce for T2's message:")
+    for r in rows:
+        print(f"  world={r['world']}: allgather {r['allgather_ms']:.3f} ms, "
+              f"allreduce {r['allreduce_ms']:.3f} ms, penalty {r['penalty']:.2f}x")
+    # All-gather moves (p−1)·msg per rank vs all-reduce's 2(p−1)/p·msg:
+    # the penalty approaches p/2 and grows with the world size.
+    penalties = [r["penalty"] for r in rows]
+    assert penalties == sorted(penalties)
+    assert penalties[-1] > 2.0

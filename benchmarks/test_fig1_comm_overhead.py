@@ -1,0 +1,16 @@
+"""Figure 1: model-parallel communication overhead vs (batch, seqlen)."""
+
+from repro.experiments import figure1_comm_overhead, format_table
+
+
+def test_fig1_comm_overhead(once):
+    rows = once(figure1_comm_overhead)
+    print("\n" + format_table(rows, title="Figure 1 — MP communication overhead (BERT-Large, TP=4, PCIe)"))
+    # Shape: communication is a substantial fraction of iteration time at
+    # the default fine-tuning setting (b=32, s=512).
+    big = next(r for r in rows if r["batch"] == 32 and r["seq"] == 512)
+    assert big["comm_fraction"] > 0.30
+    # Absolute comm time grows with the activation size b·s.
+    sizes = sorted(rows, key=lambda r: r["batch"] * r["seq"])
+    comms = [r["comm_ms"] for r in sizes]
+    assert comms == sorted(comms)

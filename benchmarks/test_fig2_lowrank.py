@@ -1,0 +1,25 @@
+"""Figure 2: gradients are low-rank; activations are not."""
+
+import numpy as np
+
+from repro.experiments import figure2_lowrank
+
+
+def test_fig2_lowrank(once):
+    report = once(figure2_lowrank)
+    g, a = report["gradient"], report["activation"]
+    print("\nFigure 2 — cumulative singular-value mass (fraction of dims -> fraction of mass)")
+    for frac in (0.1, 0.25, 0.5):
+        gi = int(frac * len(g["dims"]))
+        ai = int(frac * len(a["dims"]))
+        print(f"  top {int(frac*100):3d}% dims: gradient {g['cumulative'][gi]:.2f}  "
+              f"activation {a['cumulative'][ai]:.2f}")
+    print(f"  AUC: gradient {g['auc']:.3f}  activation {a['auc']:.3f}")
+    # Shape: the gradient's spectrum concentrates (AUC near 1); the
+    # activation's hugs the diagonal (AUC near 0.5–0.7).
+    assert report["gradient_is_lower_rank"]
+    assert g["auc"] > 0.85
+    assert a["auc"] < 0.8
+    # The activation curve is near-linear: no 10% of dims holds >50% mass.
+    ai = int(0.1 * len(a["dims"]))
+    assert a["cumulative"][ai] < 0.5

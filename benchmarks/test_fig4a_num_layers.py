@@ -1,0 +1,17 @@
+"""Figure 4a: accuracy vs number of compressed layers (CoLA/RTE analogues)."""
+
+from repro.experiments import fig4a_num_layers, format_table
+
+
+def test_fig4a_num_layers(once):
+    rows = once(fig4a_num_layers)
+    print("\n" + format_table(rows, title="Figure 4a — score vs #final layers compressed (A2)"))
+    # Takeaway 6: accuracy decreases as more layers are compressed.
+    # Compare the uncompressed run with the all-layers run.
+    first, last = rows[0], rows[-1]
+    for task in ("CoLA", "RTE"):
+        assert last[task] < first[task] + 3.0, task
+    # Compressing half the layers stays within a few points of baseline
+    # for the more robust RTE analogue.
+    half = next(r for r in rows if r["layers_compressed"] == 2)
+    assert half["RTE"] > first["RTE"] - 12.0

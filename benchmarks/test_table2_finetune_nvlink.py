@@ -1,0 +1,22 @@
+"""Table 2: fine-tune iteration times on the NVLink machine (b=32, s=512)."""
+
+from repro.experiments import format_table, table2_finetune_nvlink
+
+
+def test_table2_finetune_nvlink(once):
+    rows = once(table2_finetune_nvlink)
+    print("\n" + format_table(rows, title="Table 2 — fine-tune iteration time (ms), NVLink, b=32 s=512"))
+    by = {r["setting"]: r for r in rows}
+    for setting, row in by.items():
+        # Takeaway 1: with NVLink, no non-learning scheme beats the baseline.
+        for scheme in ["T1", "T2", "T3", "T4", "R1", "R2", "R3", "R4", "Q1", "Q2"]:
+            assert row[scheme] >= row["w/o"] * 0.99, (setting, scheme)
+        # Random-K is catastrophically slower where TP communication exists.
+        if setting != "TP=1, PP=4":
+            assert row["R1"] > 3 * row["w/o"]
+            assert row["R4"] > row["R3"] > row["R2"] > row["R1"]
+    # AE is within a few percent of the baseline everywhere on NVLink.
+    for row in rows:
+        assert row["A1"] < row["w/o"] * 1.10
+    # TP=4, PP=1 is the fastest uncompressed setting (as in the paper).
+    assert by["TP=4, PP=1"]["w/o"] < by["TP=2, PP=2"]["w/o"] < by["TP=1, PP=4"]["w/o"]

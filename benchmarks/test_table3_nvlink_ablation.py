@@ -1,0 +1,19 @@
+"""Table 3: AE with vs without NVLink — bandwidth gates the benefit."""
+
+from repro.experiments import format_table, table3_nvlink_ablation
+
+
+def test_table3_nvlink_ablation(once):
+    rows = once(table3_nvlink_ablation)
+    print("\n" + format_table(rows, title="Table 3 — w/o vs AE, with/without NVLink (ms)"))
+    nv = {r["setting"]: r for r in rows if r["machine"] == "With NVLink"}
+    pcie = {r["setting"]: r for r in rows if r["machine"] == "Without NVLink"}
+    # Takeaway: the AE speedup appears only on the slower interconnect.
+    nv_speedup = nv["TP=4, PP=1"]["w/o"] / nv["TP=4, PP=1"]["A1"]
+    pcie_speedup = pcie["TP=4, PP=1"]["w/o"] / pcie["TP=4, PP=1"]["A1"]
+    assert pcie_speedup > nv_speedup
+    # Paper: up to ~17.8% end-to-end without NVLink; we require >8%.
+    assert pcie_speedup > 1.08
+    # Without TP communication (TP=1), AE still helps slightly via the
+    # pipeline boundary on the PCIe box.
+    assert pcie["TP=1, PP=4"]["A1"] <= pcie["TP=1, PP=4"]["w/o"] * 1.02

@@ -1,0 +1,27 @@
+"""Table 5: fine-tuning accuracy per compression scheme (real training).
+
+Quick profile (default): 4 tasks × 4 schemes. ``REPRO_PROFILE=full``
+regenerates all 9 columns × 9 scheme rows (takes minutes).
+"""
+
+from repro.experiments import format_table, table5_glue_accuracy
+
+
+def test_table5_glue_accuracy(once):
+    rows = once(table5_glue_accuracy)
+    print("\n" + format_table(rows, title="Table 5 — GLUE fine-tune scores (×100), TP=2 PP=2, last-half policy"))
+    by = {r["scheme"]: r for r in rows}
+    wo = by["w/o"]
+    # Takeaway 2: AE and quantization preserve accuracy; Top-K does not.
+    # Margins allow for the synthetic CoLA analogue's high-variance training
+    # "click" (±15 on a 4-task average; see EXPERIMENTS.md).
+    assert by["Q2"]["Avg."] > wo["Avg."] - 15.0
+    assert by["A2"]["Avg."] > wo["Avg."] - 15.0
+    assert by["T1"]["Avg."] < wo["Avg."]
+    assert by["T1"]["Avg."] == min(r["Avg."] for r in rows)
+    # The baseline genuinely learns the suite.
+    assert wo["Avg."] > 65.0
+    # CoLA is the most fragile task: no Top-K run ever trains it properly
+    # (the paper's zeros; our analogue never exceeds MCC 0.25 under T1).
+    if "CoLA" in wo:
+        assert by["T1"]["CoLA"] < 25.0

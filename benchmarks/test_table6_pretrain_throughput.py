@@ -1,0 +1,24 @@
+"""Table 6: pre-training iteration times on 4 nodes (16 V100s)."""
+
+from repro.experiments import format_table, table6_pretrain
+
+
+def test_table6_pretrain_throughput(once):
+    rows = once(table6_pretrain)
+    print("\n" + format_table(rows, title="Table 6 — pre-train iteration time (ms), 4×p3.8xlarge, micro=128 s=128"))
+    by = {r["setting"]: r for r in rows}
+    best = by["TP=4, PP=4"]
+    # TP=4, PP=4 is the best distributed setting (TP stays on NVLink).
+    assert best["w/o"] < by["TP=2, PP=8"]["w/o"]
+    assert best["w/o"] < by["TP=8, PP=2"]["w/o"]
+    # TP spanning nodes (TP=8) is ~an order of magnitude slower.
+    assert by["TP=8, PP=2"]["w/o"] > 7 * best["w/o"]
+    # Takeaway 3: AE and Top-K improve pre-training; quantization does not.
+    assert best["A1"] < best["w/o"]
+    assert best["A2"] < best["w/o"]
+    assert best["T1"] < best["w/o"]
+    assert best["Q1"] > best["w/o"]
+    assert best["Q2"] > best["w/o"]
+    assert best["R1"] > 5 * best["w/o"]
+    # Paper: AE speeds pre-training up by ~16%; require at least 10%.
+    assert best["w/o"] / min(best["A1"], best["A2"]) > 1.10

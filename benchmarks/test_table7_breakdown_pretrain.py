@@ -1,0 +1,19 @@
+"""Table 7: pre-training breakdown at TP=4 PP=4."""
+
+from repro.experiments import format_table, table7_breakdown_pretrain
+
+
+def test_table7_breakdown_pretrain(once):
+    rows = once(table7_breakdown_pretrain)
+    print("\n" + format_table(rows, title="Table 7 — pre-train breakdown (ms), TP=4 PP=4, micro=128 global=1024"))
+    by = {r["scheme"]: r for r in rows}
+    wo = by["w/o"]
+    # Compression slashes waiting & pipeline time (inter-node bandwidth is
+    # the bottleneck): paper 528 → 233 for A1.
+    assert by["A1"]["wait_pipeline"] < wo["wait_pipeline"] * 0.6
+    assert by["T1"]["wait_pipeline"] < wo["wait_pipeline"] * 0.6
+    # Quantization makes the pipeline *worse* (multi-tensor + dense backward).
+    assert by["Q1"]["wait_pipeline"] > wo["wait_pipeline"] * 1.5
+    # Random-K's encode is still catastrophic at pre-training scale.
+    assert by["R1"]["tensor_enc"] > 10 * by["T1"]["tensor_enc"]
+    assert by["R1"]["total"] > 8 * wo["total"]

@@ -1,0 +1,15 @@
+"""Table 9: per-pipeline-boundary communication, w/o vs A2."""
+
+from repro.experiments import format_table, table9_stage_comm
+
+
+def test_table9_stage_comm(once):
+    rows = once(table9_stage_comm)
+    print("\n" + format_table(rows, title="Table 9 — per-boundary comm time (ms/iteration), PP=4, last-12 policy"))
+    first, second, third = rows
+    # The first boundary feeds an uncompressed layer → unchanged.
+    assert abs(first["comm_A2"] - first["comm_wo"]) < 1e-6
+    # The compressed boundaries drop ~6–10× (paper: 88.7→13.2, 97.7→14.1).
+    for row in (second, third):
+        ratio = row["comm_wo"] / row["comm_A2"]
+        assert 4.0 < ratio < 15.0, ratio

@@ -1,0 +1,26 @@
+"""Tables 11–14: batch/sequence sweep — small messages kill the benefit."""
+
+from repro.experiments import format_table, tables11_14_hparam_sweep
+
+
+def test_tables11_14_hparam_sweep(once):
+    tables = once(tables11_14_hparam_sweep)
+    for key, rows in tables.items():
+        print("\n" + format_table(rows, title=f"{key} — fine-tune time (ms), s=128"))
+    # Takeaway 8: at s=128 compression stops paying. On NVLink no scheme
+    # improves throughput at all (paper Tables 11–12); on PCIe only AE can
+    # still eke out a small win (paper Table 13's underlined A1/A2 cells)
+    # while the non-learning schemes always lose.
+    for key, rows in tables.items():
+        nvlink = "nvlink" in key
+        for row in rows:
+            for scheme in ["T1", "T4", "Q1", "Q3"]:
+                assert row[scheme] > row["w/o"] * 0.97, (key, row["setting"], scheme)
+            for scheme in ["A1", "A2"]:
+                floor = 0.97 if nvlink else 0.88
+                assert row[scheme] > row["w/o"] * floor, (key, row["setting"], scheme)
+    # Random-K remains the worst everywhere TP communication exists.
+    for key, rows in tables.items():
+        for row in rows:
+            if row["setting"] != "TP=1, PP=4":
+                assert row["R4"] > row["R1"] > row["w/o"]

@@ -1,0 +1,42 @@
+"""Throughput what-if study: when does activation compression pay off?
+
+Reproduces the paper's central systems question on custom hardware: sweep
+the interconnect bandwidth and find the crossover where the AE's encode/
+decode overhead is repaid by communication savings — the NVLink-vs-PCIe
+story of Tables 2/3 as a continuous curve.
+
+Run: ``python examples/throughput_study.py``
+"""
+
+from repro.experiments.report import format_table
+from repro.parallel.topology import ClusterTopology, LinkType
+from repro.simulator import IterationSimulator, SimSetting
+from repro.simulator.hardware import LINKS, LinkSpec
+
+rows = []
+for bw in [2, 5, 10, 20, 40, 80, 160]:
+    # Install a hypothetical intra-node link of `bw` GB/s (no ring scaling).
+    LINKS[LinkType.PCIE] = LinkSpec(f"hypothetical {bw} GB/s", float(bw), 15e-6)
+    topo = ClusterTopology.local_pcie()
+    wo = IterationSimulator(SimSetting(topo, 4, 1, 32, 512, scheme="w/o")).total_ms()
+    a2 = IterationSimulator(SimSetting(topo, 4, 1, 32, 512, scheme="A2")).total_ms()
+    t1 = IterationSimulator(SimSetting(topo, 4, 1, 32, 512, scheme="T1")).total_ms()
+    rows.append({
+        "link_GBps": bw,
+        "w/o": wo,
+        "A2": a2,
+        "T1": t1,
+        "A2_speedup": wo / a2,
+        "T1_speedup": wo / t1,
+    })
+
+# restore the calibrated default
+LINKS[LinkType.PCIE] = LinkSpec("PCIe (shared bridge)", 10.0, 15e-6)
+
+print(format_table(rows, title="AE vs Top-K speedup across interconnect bandwidth "
+                               "(BERT-Large, TP=4, b=32, s=512)"))
+
+gainful = [r for r in rows if r["A2_speedup"] > 1.02]
+if gainful:
+    print(f"\nAE pays off below ~{max(r['link_GBps'] for r in gainful)} GB/s — "
+          "on faster fabrics the encode/decode overhead wins (Takeaway 1).")

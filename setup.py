@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP 517
+editable installs (which build a wheel) fail. ``pip install -e .`` falls back
+to ``setup.py develop`` when this file exists and no build-system table forces
+isolation. All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""repro — reproduction of *Does Compressing Activations Help Model Parallel
+Training?* (Bian, Li, Wang, Xing, Venkataraman; MLSys 2024).
+
+Subpackages
+-----------
+``repro.tensor``       NumPy reverse-mode autodiff engine.
+``repro.nn``           Transformer / BERT model zoo.
+``repro.optim``        SGD / Adam / AdamW, LR schedules.
+``repro.compression``  The paper's compression algorithms + notation table.
+``repro.parallel``     In-process tensor/pipeline model-parallel runtime.
+``repro.simulator``    Calibrated hardware performance simulator.
+``repro.perfmodel``    §4.7 analytical cost model.
+``repro.data``         Synthetic GLUE suite and MLM corpus.
+``repro.training``     Fine-tune / pre-train loops and checkpointing.
+``repro.analysis``     Low-rank (SVD) analysis (Fig. 2).
+``repro.experiments``  Table/figure regeneration harness.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,15 @@
+"""Analysis utilities (Fig. 2 low-rank study)."""
+
+from repro.analysis.svd import (
+    singular_value_profile,
+    spectrum_auc,
+    collect_gradient_and_activation,
+    lowrank_report,
+)
+
+__all__ = [
+    "singular_value_profile",
+    "spectrum_auc",
+    "collect_gradient_and_activation",
+    "lowrank_report",
+]

@@ -1,0 +1,60 @@
+"""Activation compression algorithms (the paper's §3.1).
+
+Four families are implemented, matching the study:
+
+- :class:`TopKCompressor` / :class:`RandomKCompressor` — sparsification.
+- :class:`QuantizationCompressor` — 2/4/8-bit uniform quantization.
+- :class:`AutoencoderCompressor` — learnable linear encoder/decoder (AE).
+- :class:`NoCompressor` — the "w/o" baseline.
+
+Each compressor exposes two faces:
+
+1. a NumPy message face (``compress`` / ``decompress``) that produces a
+   :class:`CompressedMessage` with exact wire-byte accounting — this is what
+   the parallel runtime puts on the (simulated) wire; and
+2. a differentiable graph face (``apply``) that runs
+   compress→decompress inside the autograd graph with the correct gradient
+   semantics (gradient masking for sparsification, straight-through for
+   quantization, ordinary backprop for AE).
+
+``notation`` maps the paper's scheme labels (A1, A2, T1–T4, R1–R4, Q1–Q3)
+to configured compressors; ``policy`` captures *where* compression is applied
+(which layers — §4.5).
+"""
+
+from repro.compression.base import (
+    Compressor,
+    CompressedMessage,
+    NoCompressor,
+    register_compressor,
+    make_compressor,
+    available_compressors,
+)
+from repro.compression.topk import TopKCompressor
+from repro.compression.randomk import RandomKCompressor
+from repro.compression.quantization import QuantizationCompressor
+from repro.compression.autoencoder import AutoencoderCompressor
+from repro.compression.error_feedback import ErrorFeedbackCompressor
+from repro.compression.powersgd import PowerSGDCompressor
+from repro.compression.policy import CompressionPolicy
+from repro.compression.notation import SCHEME_LABELS, SchemeSpec, scheme_spec, build_compressor
+
+__all__ = [
+    "Compressor",
+    "CompressedMessage",
+    "NoCompressor",
+    "TopKCompressor",
+    "RandomKCompressor",
+    "QuantizationCompressor",
+    "AutoencoderCompressor",
+    "ErrorFeedbackCompressor",
+    "PowerSGDCompressor",
+    "CompressionPolicy",
+    "SCHEME_LABELS",
+    "SchemeSpec",
+    "scheme_spec",
+    "build_compressor",
+    "register_compressor",
+    "make_compressor",
+    "available_compressors",
+]

@@ -1,0 +1,192 @@
+"""Compressor interface, message container, and registry.
+
+Wire-byte conventions (matching the paper's fp16 training setup):
+
+- floating-point payloads travel as fp16 → 2 bytes/element;
+- index payloads travel as int32 → 4 bytes/element;
+- bit-packed payloads report their packed size exactly.
+
+``CompressedMessage.wire_bytes`` is the number the performance simulator
+feeds into its α–β communication model, so it must reflect what a real
+implementation would put on the wire, not the in-memory NumPy dtypes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+__all__ = [
+    "BYTES_FP16",
+    "BYTES_INT32",
+    "CompressedMessage",
+    "Compressor",
+    "NoCompressor",
+    "register_compressor",
+    "make_compressor",
+    "available_compressors",
+]
+
+BYTES_FP16 = 2
+BYTES_INT32 = 4
+
+
+@dataclass
+class CompressedMessage:
+    """A compressed activation as it would appear on the wire.
+
+    Attributes
+    ----------
+    payloads:
+        Named arrays making up the message (e.g. ``{"values", "indices"}``
+    shape:
+        Original (uncompressed) activation shape.
+    scheme:
+        Name of the producing compressor.
+    wire_bytes:
+        Exact bytes a real implementation would transmit.
+    meta:
+        Scheme-specific extras needed for decompression (scales, seeds...).
+    """
+
+    payloads: dict[str, np.ndarray]
+    shape: tuple[int, ...]
+    scheme: str
+    wire_bytes: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def original_bytes(self) -> int:
+        """Bytes of the uncompressed fp16 activation."""
+        return int(np.prod(self.shape)) * BYTES_FP16
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio original/compressed (>1 means smaller)."""
+        return self.original_bytes / max(self.wire_bytes, 1)
+
+
+class Compressor(abc.ABC):
+    """Interface for activation compressors.
+
+    Subclasses must implement the NumPy message face
+    (:meth:`compress` / :meth:`decompress` / :meth:`compressed_bytes`)
+    and the differentiable face (:meth:`apply`).
+    """
+
+    name: str = "base"
+
+    #: True when the scheme produces a message all-reduce can sum directly
+    #: (single float tensor).  False forces the runtime onto the
+    #: all-gather path, like Top-K / Random-K / quantization in the paper §3.2.
+    allreduce_compatible: bool = False
+
+    #: True for schemes with learnable parameters (AE).
+    learnable: bool = False
+
+    @abc.abstractmethod
+    def compress(self, x: np.ndarray) -> CompressedMessage:
+        """Produce the wire message for activation ``x``."""
+
+    @abc.abstractmethod
+    def decompress(self, msg: CompressedMessage) -> np.ndarray:
+        """Reconstruct a dense activation from ``msg``."""
+
+    @abc.abstractmethod
+    def compressed_bytes(self, shape: tuple[int, ...]) -> int:
+        """Analytic wire size for an activation of ``shape`` (no data needed)."""
+
+    @abc.abstractmethod
+    def apply(self, x: Tensor) -> Tensor:
+        """Differentiable compress→decompress for use inside the graph."""
+
+    def backward_bytes(self, shape: tuple[int, ...]) -> int:
+        """Wire size of the *backward* (gradient-of-activation) message.
+
+        Compressing the forward activation also shrinks the backward message
+        (§3.3): sparsified gradients only carry the kept coordinates, and AE
+        gradients flow through the code. Quantization is the exception —
+        "the PyTorch backward engine only supports gradients for floating
+        point tensors", so its backward stays dense
+        (:class:`QuantizationCompressor` overrides this).
+        """
+        return self.compressed_bytes(shape)
+
+    # ------------------------------------------------------------------
+    def roundtrip(self, x: np.ndarray) -> np.ndarray:
+        """Convenience: compress then decompress."""
+        return self.decompress(self.compress(x))
+
+    def ratio(self, shape: tuple[int, ...]) -> float:
+        """Analytic compression ratio for ``shape``."""
+        return (int(np.prod(shape)) * BYTES_FP16) / max(self.compressed_bytes(shape), 1)
+
+    def reconstruction_error(self, x: np.ndarray) -> float:
+        """Relative Frobenius reconstruction error ``||x - D(C(x))|| / ||x||``."""
+        denom = float(np.linalg.norm(x))
+        if denom == 0.0:
+            return 0.0
+        return float(np.linalg.norm(x - self.roundtrip(x))) / denom
+
+    def parameters(self):
+        """Learnable parameters (empty for non-learning schemes)."""
+        return []
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoCompressor(Compressor):
+    """Identity baseline ("w/o" in the paper's tables)."""
+
+    name = "none"
+    allreduce_compatible = True
+
+    def compress(self, x: np.ndarray) -> CompressedMessage:
+        return CompressedMessage(
+            payloads={"values": np.asarray(x)},
+            shape=tuple(np.asarray(x).shape),
+            scheme=self.name,
+            wire_bytes=int(np.asarray(x).size) * BYTES_FP16,
+        )
+
+    def decompress(self, msg: CompressedMessage) -> np.ndarray:
+        return msg.payloads["values"]
+
+    def compressed_bytes(self, shape: tuple[int, ...]) -> int:
+        return int(np.prod(shape)) * BYTES_FP16
+
+    def apply(self, x: Tensor) -> Tensor:
+        return x
+
+
+_REGISTRY: dict[str, type[Compressor]] = {}
+
+
+def register_compressor(cls: type[Compressor]) -> type[Compressor]:
+    """Class decorator adding a compressor to the global registry."""
+    if not cls.name or cls.name == "base":
+        raise ValueError(f"{cls.__name__} must define a unique .name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_compressor(name: str, **kwargs) -> Compressor:
+    """Instantiate a registered compressor by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown compressor {name!r}; available: {sorted(_REGISTRY)}") from None
+    return cls(**kwargs)
+
+
+def available_compressors() -> list[str]:
+    """Names of all registered compressors."""
+    return sorted(_REGISTRY)
+
+
+register_compressor(NoCompressor)

@@ -1,0 +1,93 @@
+"""Error-feedback wrapper around any compressor.
+
+Maintains the per-site residual ``e`` of the previous compression step and
+adds it to the next input: ``msg = C(x + e); e = (x + e) - D(msg)``.
+The paper's implementation "allows the integration of error-feedback
+compression algorithms by retaining the error information from the previous
+compression step" (§3.3); this wrapper is that mechanism, and the ablation
+bench ``benchmarks/test_ablation_error_feedback.py`` measures its effect.
+
+Each distinct activation site (layer / pipeline boundary) must use its own
+wrapper instance or its own ``site`` key, since residuals are shape-bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedMessage, Compressor
+from repro.tensor import Tensor
+
+__all__ = ["ErrorFeedbackCompressor"]
+
+
+class ErrorFeedbackCompressor(Compressor):
+    """Wrap ``inner`` with error feedback state.
+
+    Parameters
+    ----------
+    inner:
+        The compressor producing the actual wire messages.
+    decay:
+        Residual decay factor in [0, 1]; 1 keeps the full residual.
+    """
+
+    def __init__(self, inner: Compressor, decay: float = 1.0):
+        if not 0.0 <= decay <= 1.0:
+            raise ValueError(f"decay must be in [0, 1], got {decay}")
+        self.inner = inner
+        self.decay = decay
+        self.name = f"ef({inner.name})"
+        self.allreduce_compatible = inner.allreduce_compatible
+        self.learnable = inner.learnable
+        self._residuals: dict[str, np.ndarray] = {}
+
+    def residual(self, site: str = "default") -> np.ndarray | None:
+        """Current residual for ``site`` (None before first use)."""
+        return self._residuals.get(site)
+
+    def reset(self) -> None:
+        """Drop all residual state."""
+        self._residuals.clear()
+
+    # ------------------------------------------------------------------
+    def compress(self, x: np.ndarray, site: str = "default") -> CompressedMessage:
+        x = np.asarray(x, dtype=np.float32)
+        prev = self._residuals.get(site)
+        corrected = x + self.decay * prev if prev is not None and prev.shape == x.shape else x
+        msg = self.inner.compress(corrected)
+        self._residuals[site] = corrected - self.inner.decompress(msg)
+        return msg
+
+    def decompress(self, msg: CompressedMessage) -> np.ndarray:
+        return self.inner.decompress(msg)
+
+    def compressed_bytes(self, shape: tuple[int, ...]) -> int:
+        return self.inner.compressed_bytes(shape)
+
+    def backward_bytes(self, shape: tuple[int, ...]) -> int:
+        return self.inner.backward_bytes(shape)
+
+    def apply(self, x: Tensor, site: str = "default") -> Tensor:
+        """Differentiable path: forward uses error-fed reconstruction.
+
+        The residual update happens on the *values*; gradients flow through
+        the inner compressor's own backward rule applied at the corrected
+        point (a straight-through treatment of the additive correction).
+        """
+        prev = self._residuals.get(site)
+        if prev is not None and prev.shape == x.data.shape:
+            corrected = Tensor._make(
+                x.data + self.decay * prev, (x,), lambda g: (g,)
+            )
+        else:
+            corrected = x
+        out = self.inner.apply(corrected)
+        self._residuals[site] = corrected.data - out.data
+        return out
+
+    def parameters(self):
+        return self.inner.parameters()
+
+    def __repr__(self) -> str:
+        return f"ErrorFeedbackCompressor({self.inner!r}, decay={self.decay})"

@@ -1,0 +1,110 @@
+"""The paper's scheme notation (Table 1) → configured compressors.
+
+Label semantics for a model with hidden size ``h`` (paper: BERT-Large,
+h = 1024):
+
+========  =====================================================================
+ Label     Meaning
+========  =====================================================================
+ w/o       no compression
+ A1        AE with encoder output dim 50  (c/h = 50/1024)
+ A2        AE with encoder output dim 100 (c/h = 100/1024)
+ T1/R1     Top-/Random-K with the same *communication cost* as A1
+ T2/R2     Top-/Random-K with the same *communication cost* as A2
+ T3/R3     Top-/Random-K with the same *compression ratio* as A1 (~20×)
+ T4/R4     Top-/Random-K with the same *compression ratio* as A2 (~10×)
+ Q1        2-bit uniform quantization
+ Q2        4-bit uniform quantization
+ Q3        8-bit uniform quantization (appendix tables only)
+========  =====================================================================
+
+"Same communication cost" accounts for the sparse message carrying both
+fp16 values and int32 indices (6 bytes per kept element vs 2 bytes per AE
+code element), so the kept fraction is ``c / (3h)``. "Same compression
+ratio" counts kept *elements* (the paper's "compress ~10/20 times"), giving
+fraction ``c / h``. For h=1024 these reproduce the paper's settings exactly;
+for the scaled-down accuracy models the fractions (not the absolute dims)
+are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.autoencoder import AutoencoderCompressor
+from repro.compression.base import Compressor, NoCompressor
+from repro.compression.quantization import QuantizationCompressor
+from repro.compression.randomk import RandomKCompressor
+from repro.compression.topk import TopKCompressor
+
+__all__ = ["SchemeSpec", "SCHEME_LABELS", "scheme_spec", "build_compressor"]
+
+#: AE code dims for BERT-Large from the paper.
+_A1_CODE, _A2_CODE = 50, 100
+_REF_HIDDEN = 1024
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """Declarative description of one notation-table entry."""
+
+    label: str
+    family: str  # "none" | "ae" | "topk" | "randomk" | "quant"
+    #: for ae: c/h; for topk/randomk: kept fraction; for quant: unused
+    fraction: float = 1.0
+    bits: int = 0
+
+    def code_dim(self, hidden: int) -> int:
+        """AE encoder output dim for a model of ``hidden`` (≥2)."""
+        return max(2, round(self.fraction * hidden))
+
+    def build(self, hidden: int, seed: int = 0) -> Compressor:
+        """Instantiate the compressor for a model of ``hidden`` size."""
+        if self.family == "none":
+            return NoCompressor()
+        if self.family == "ae":
+            return AutoencoderCompressor(hidden, self.code_dim(hidden), seed=seed)
+        if self.family == "topk":
+            return TopKCompressor(self.fraction)
+        if self.family == "randomk":
+            return RandomKCompressor(self.fraction, seed=seed)
+        if self.family == "quant":
+            return QuantizationCompressor(self.bits)
+        raise ValueError(f"unknown family {self.family!r}")
+
+
+def _ae_fraction(code: int) -> float:
+    return code / _REF_HIDDEN
+
+
+SCHEME_LABELS: dict[str, SchemeSpec] = {
+    "w/o": SchemeSpec("w/o", "none"),
+    "A1": SchemeSpec("A1", "ae", _ae_fraction(_A1_CODE)),
+    "A2": SchemeSpec("A2", "ae", _ae_fraction(_A2_CODE)),
+    # same comm cost as A1/A2: 6 bytes per kept element vs 2 per code element
+    "T1": SchemeSpec("T1", "topk", _ae_fraction(_A1_CODE) / 3.0),
+    "T2": SchemeSpec("T2", "topk", _ae_fraction(_A2_CODE) / 3.0),
+    # same compression ratio (kept elements) as A1/A2
+    "T3": SchemeSpec("T3", "topk", _ae_fraction(_A1_CODE)),
+    "T4": SchemeSpec("T4", "topk", _ae_fraction(_A2_CODE)),
+    "R1": SchemeSpec("R1", "randomk", _ae_fraction(_A1_CODE) / 3.0),
+    "R2": SchemeSpec("R2", "randomk", _ae_fraction(_A2_CODE) / 3.0),
+    "R3": SchemeSpec("R3", "randomk", _ae_fraction(_A1_CODE)),
+    "R4": SchemeSpec("R4", "randomk", _ae_fraction(_A2_CODE)),
+    "Q1": SchemeSpec("Q1", "quant", bits=2),
+    "Q2": SchemeSpec("Q2", "quant", bits=4),
+    "Q3": SchemeSpec("Q3", "quant", bits=8),
+}
+
+
+def scheme_spec(label: str) -> SchemeSpec:
+    """Look up a notation-table entry, raising with the valid labels."""
+    try:
+        return SCHEME_LABELS[label]
+    except KeyError:
+        raise KeyError(f"unknown scheme {label!r}; valid: {sorted(SCHEME_LABELS)}") from None
+
+
+def build_compressor(label: str, hidden: int, seed: int = 0) -> Compressor:
+    """Build the compressor named by a paper label for a given hidden size."""
+    return scheme_spec(label).build(hidden, seed=seed)

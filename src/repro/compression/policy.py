@@ -1,0 +1,105 @@
+"""Compression placement policy: *which* layers get compressed (§4.5).
+
+The paper's default is "compress the last 12 layers of the 24-layer model";
+§4.5 varies both the number of compressed layers (Fig. 4a) and the location
+of a fixed-size compressed window (Fig. 4b). A policy is just a set of layer
+indices plus helpers for these sweeps.
+
+Semantics: a layer in the policy compresses its *incoming* activation —
+its internal tensor-parallel all-reduces and, when it is the first layer of
+a pipeline stage, the stage-boundary message feeding it. This reproduces
+Table 9: with the last-12-of-24 policy and PP=4, the boundary after layer 5
+feeds (uncompressed) layer 6, while the boundaries after layers 11 and 17
+feed compressed layers 12 and 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CompressionPolicy"]
+
+
+@dataclass(frozen=True)
+class CompressionPolicy:
+    """Set of transformer-layer indices whose output activations are compressed.
+
+    Attributes
+    ----------
+    num_layers:
+        Total number of transformer layers in the model.
+    layers:
+        Indices (0-based) of the compressed layers.
+    """
+
+    num_layers: int
+    layers: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        bad = [i for i in self.layers if not 0 <= i < self.num_layers]
+        if bad:
+            raise ValueError(f"layer indices out of range [0, {self.num_layers}): {sorted(bad)}")
+        object.__setattr__(self, "layers", frozenset(self.layers))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def none(num_layers: int) -> "CompressionPolicy":
+        """Compress nothing (the w/o baseline)."""
+        return CompressionPolicy(num_layers, frozenset())
+
+    @staticmethod
+    def all(num_layers: int) -> "CompressionPolicy":
+        """Compress every layer."""
+        return CompressionPolicy(num_layers, frozenset(range(num_layers)))
+
+    @staticmethod
+    def last_k(num_layers: int, k: int) -> "CompressionPolicy":
+        """Compress the final ``k`` layers (the paper's default is k=12 of 24)."""
+        k = max(0, min(k, num_layers))
+        return CompressionPolicy(num_layers, frozenset(range(num_layers - k, num_layers)))
+
+    @staticmethod
+    def first_k(num_layers: int, k: int) -> "CompressionPolicy":
+        """Compress the initial ``k`` layers (shown harmful in §4.5)."""
+        k = max(0, min(k, num_layers))
+        return CompressionPolicy(num_layers, frozenset(range(k)))
+
+    @staticmethod
+    def window(num_layers: int, start: int, count: int) -> "CompressionPolicy":
+        """Compress ``count`` consecutive layers starting at ``start`` (Fig. 4b)."""
+        end = min(start + count, num_layers)
+        return CompressionPolicy(num_layers, frozenset(range(start, end)))
+
+    @staticmethod
+    def default(num_layers: int) -> "CompressionPolicy":
+        """The paper's default: compress the last half of the layers."""
+        return CompressionPolicy.last_k(num_layers, num_layers // 2)
+
+    # ------------------------------------------------------------------
+    def applies(self, layer: int) -> bool:
+        """Whether ``layer`` compresses its incoming activation / TP traffic."""
+        return layer in self.layers
+
+    def boundary_compressed(self, last_layer_of_stage: int) -> bool:
+        """Whether the pipeline boundary after ``last_layer_of_stage`` is compressed.
+
+        The boundary message is the input of the next stage's first layer,
+        so it is compressed iff that receiving layer is in the policy.
+        """
+        return self.applies(last_layer_of_stage + 1) if last_layer_of_stage + 1 < self.num_layers else False
+
+    @property
+    def num_compressed(self) -> int:
+        return len(self.layers)
+
+    def fraction(self) -> float:
+        """Fraction of layers compressed."""
+        return self.num_compressed / self.num_layers
+
+    def __repr__(self) -> str:
+        return (
+            f"CompressionPolicy(num_layers={self.num_layers}, "
+            f"layers={sorted(self.layers)})"
+        )

@@ -1,0 +1,97 @@
+"""Top-K sparsification (magnitude pruning) of activations.
+
+Keeps the ``k`` largest-magnitude entries of the flattened activation.
+The wire message is ``(values fp16, indices int32)`` — two tensors of
+different dtypes, which is why the runtime cannot sum it with all-reduce
+and must fall back to all-gather (paper §3.2).
+
+Gradient semantics: the backward message is masked to the kept entries,
+mirroring the paper's observation that compressing the forward activation
+also shrinks the backward (gradient-of-activation) message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import (
+    BYTES_FP16,
+    BYTES_INT32,
+    CompressedMessage,
+    Compressor,
+    register_compressor,
+)
+from repro.tensor import Tensor
+
+__all__ = ["TopKCompressor", "topk_mask"]
+
+
+def topk_mask(x: np.ndarray, k: int) -> np.ndarray:
+    """Boolean mask of the ``k`` largest-|x| entries (flattened)."""
+    flat = np.abs(x).reshape(-1)
+    k = int(min(max(k, 1), flat.size))
+    if k == flat.size:
+        return np.ones(x.shape, dtype=bool)
+    # argpartition puts the top-k (unordered) in the last k slots.
+    idx = np.argpartition(flat, flat.size - k)[-k:]
+    mask = np.zeros(flat.size, dtype=bool)
+    mask[idx] = True
+    return mask.reshape(x.shape)
+
+
+@register_compressor
+class TopKCompressor(Compressor):
+    """Keep the top ``fraction`` of entries by magnitude.
+
+    Parameters
+    ----------
+    fraction:
+        Fraction of entries kept, in (0, 1].
+    """
+
+    name = "topk"
+    allreduce_compatible = False
+
+    def __init__(self, fraction: float):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def _k(self, size: int) -> int:
+        return max(1, int(round(self.fraction * size)))
+
+    def compress(self, x: np.ndarray) -> CompressedMessage:
+        x = np.asarray(x)
+        k = self._k(x.size)
+        flat = x.reshape(-1)
+        idx = np.argpartition(np.abs(flat), flat.size - k)[-k:] if k < flat.size else np.arange(flat.size)
+        idx = np.sort(idx).astype(np.int32)
+        values = flat[idx]
+        return CompressedMessage(
+            payloads={"values": values, "indices": idx},
+            shape=tuple(x.shape),
+            scheme=self.name,
+            wire_bytes=k * (BYTES_FP16 + BYTES_INT32),
+            meta={"k": k},
+        )
+
+    def decompress(self, msg: CompressedMessage) -> np.ndarray:
+        out = np.zeros(int(np.prod(msg.shape)), dtype=msg.payloads["values"].dtype)
+        out[msg.payloads["indices"]] = msg.payloads["values"]
+        return out.reshape(msg.shape)
+
+    def compressed_bytes(self, shape: tuple[int, ...]) -> int:
+        k = self._k(int(np.prod(shape)))
+        return k * (BYTES_FP16 + BYTES_INT32)
+
+    def apply(self, x: Tensor) -> Tensor:
+        mask = topk_mask(x.data, self._k(x.data.size))
+        out_data = x.data * mask
+
+        def backward(g):
+            return (g * mask,)
+
+        return Tensor._make(out_data, (x,), backward)
+
+    def __repr__(self) -> str:
+        return f"TopKCompressor(fraction={self.fraction:.4f})"

@@ -1,0 +1,54 @@
+"""Synthetic data substrate replacing GLUE and Wikipedia/BooksCorpus.
+
+The eight GLUE tasks are replaced by synthetic analogues with matched task
+*types* and *metrics* (see ``tasks.py``); pre-training uses a synthetic
+topic-coherent corpus over the same vocabulary so that MLM pre-training
+genuinely transfers to the downstream tasks (the Table 8 workflow).
+
+All generation is driven by a shared latent **topic model**
+(:class:`TopicModel`): content tokens are grouped into topics, sentences
+sample mostly from one topic plus noise, and task labels are functions of
+topic structure. This gives the tasks learnable signal distributed across
+many token positions — the property that makes sparsification-based
+activation compression destructive, as in the paper.
+"""
+
+from repro.data.vocab import Vocab
+from repro.data.topics import TopicModel
+from repro.data.tasks import (
+    TaskSpec,
+    GlueDataset,
+    GLUE_TASKS,
+    make_task,
+    glue_score,
+)
+from repro.data.loaders import Batch, batch_iter
+from repro.data.metrics import (
+    accuracy,
+    f1_binary,
+    matthews_corrcoef,
+    spearman_corr,
+    pearson_corr,
+    METRICS,
+)
+from repro.data.pretraining import MLMCorpus, mask_tokens
+
+__all__ = [
+    "Vocab",
+    "TopicModel",
+    "TaskSpec",
+    "GlueDataset",
+    "GLUE_TASKS",
+    "make_task",
+    "glue_score",
+    "Batch",
+    "batch_iter",
+    "accuracy",
+    "f1_binary",
+    "matthews_corrcoef",
+    "spearman_corr",
+    "pearson_corr",
+    "METRICS",
+    "MLMCorpus",
+    "mask_tokens",
+]

@@ -1,0 +1,48 @@
+"""Minibatching over materialized datasets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.tasks import GlueDataset
+
+__all__ = ["Batch", "batch_iter"]
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One minibatch of encoded examples."""
+
+    input_ids: np.ndarray
+    attention_mask: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.input_ids)
+
+
+def batch_iter(
+    dataset: GlueDataset,
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """Iterate minibatches; shuffles when an RNG is provided."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    n = len(dataset)
+    order = np.arange(n)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            return
+        yield Batch(
+            dataset.input_ids[idx],
+            dataset.attention_mask[idx],
+            dataset.labels[idx],
+        )

@@ -1,0 +1,101 @@
+"""GLUE evaluation metrics, implemented from scratch.
+
+Per the paper's table captions: F1 for QQP and MRPC, Matthews correlation
+for CoLA, Spearman correlation for STS-B, accuracy elsewhere. All metrics
+are reported ×100 by the experiment harness (matching the GLUE convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "f1_binary",
+    "matthews_corrcoef",
+    "spearman_corr",
+    "pearson_corr",
+    "METRICS",
+]
+
+
+def accuracy(preds: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of exact matches."""
+    preds, labels = np.asarray(preds), np.asarray(labels)
+    if preds.shape != labels.shape:
+        raise ValueError(f"shape mismatch: {preds.shape} vs {labels.shape}")
+    if preds.size == 0:
+        raise ValueError("empty predictions")
+    return float((preds == labels).mean())
+
+
+def f1_binary(preds: np.ndarray, labels: np.ndarray, positive: int = 1) -> float:
+    """F1 of the positive class (GLUE convention for QQP/MRPC)."""
+    preds, labels = np.asarray(preds), np.asarray(labels)
+    tp = int(((preds == positive) & (labels == positive)).sum())
+    fp = int(((preds == positive) & (labels != positive)).sum())
+    fn = int(((preds != positive) & (labels == positive)).sum())
+    if tp == 0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return float(2 * precision * recall / (precision + recall))
+
+
+def matthews_corrcoef(preds: np.ndarray, labels: np.ndarray) -> float:
+    """Matthews correlation coefficient for binary labels (CoLA metric).
+
+    Returns 0 when a marginal is degenerate (all-one-class predictions) —
+    the same convention sklearn uses, and visible in the paper's Table 5
+    zeros for collapsed Top-K runs.
+    """
+    preds, labels = np.asarray(preds), np.asarray(labels)
+    tp = float(((preds == 1) & (labels == 1)).sum())
+    tn = float(((preds == 0) & (labels == 0)).sum())
+    fp = float(((preds == 1) & (labels == 0)).sum())
+    fn = float(((preds == 0) & (labels == 1)).sum())
+    denom = np.sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+    if denom == 0:
+        return 0.0
+    return float((tp * tn - fp * fn) / denom)
+
+
+def _rankdata(x: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean rank), 1-based."""
+    x = np.asarray(x, dtype=np.float64)
+    order = np.argsort(x, kind="mergesort")
+    ranks = np.empty(len(x), dtype=np.float64)
+    ranks[order] = np.arange(1, len(x) + 1)
+    # average ties
+    sorted_x = x[order]
+    i = 0
+    while i < len(x):
+        j = i
+        while j + 1 < len(x) and sorted_x[j + 1] == sorted_x[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = ranks[order[i : j + 1]].mean()
+        i = j + 1
+    return ranks
+
+
+def pearson_corr(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation; 0 if either side is constant."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.std() == 0 or b.std() == 0:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def spearman_corr(preds: np.ndarray, labels: np.ndarray) -> float:
+    """Spearman rank correlation (STS-B metric)."""
+    return pearson_corr(_rankdata(np.asarray(preds)), _rankdata(np.asarray(labels)))
+
+
+METRICS = {
+    "accuracy": accuracy,
+    "f1": f1_binary,
+    "matthews": matthews_corrcoef,
+    "spearman": spearman_corr,
+}

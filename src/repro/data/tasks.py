@@ -1,0 +1,279 @@
+"""Synthetic analogues of the eight GLUE tasks.
+
+Each task mirrors its GLUE counterpart's *type* and *metric* (Table 5
+caption): pair vs single-sentence, classification vs regression, and the
+reported metric. Labels are functions of **lexical overlap** and **token
+order** over the shared topic model — properties a small transformer can
+learn via matching-attention heads, and properties that are *distributed
+across positions and features*, which is what makes sparsifying activations
+destructive (the paper's Fig. 2 / Table 5 finding):
+
+======== ======================= ============ =========================================
+ Task     Type                    Metric       Label rule
+======== ======================= ============ =========================================
+ MNLI     pair, 3-class           accuracy     ring-third difference of the two topics
+                                               (mod 3); two eval splits (matched /
+                                               mismatched purity)
+ QQP      pair, 2-class           F1           both segments from the same ring half
+ SST-2    single, 2-class         accuracy     sentiment = ring half of the topic
+ MRPC     pair, 2-class (small)   F1           same-half rule at lower purity
+ CoLA     single, 2-class         Matthews     alternating low/high token rule;
+                                               violations are 1–2 local swaps
+ QNLI     pair, 2-class           accuracy     same-half rule
+ RTE      pair, 2-class (tiny)    accuracy     same-half rule at the lowest purity and
+                                               smallest train set → hardest task
+ STS-B    pair, regression        Spearman     5 × fraction of high-half tokens
+======== ======================= ============ =========================================
+
+The pair label is an XOR of two per-segment linear features (which ring
+half each segment's topic lies in), so the decision is *distributed across
+every content position and across embedding features* — destroying part of
+the activation (sparsification) removes the evidence, while low-distortion
+schemes (quantization, a learned AE) keep it. Small label noise keeps
+ceilings below 100, echoing GLUE, and per-task purity/size echo GLUE's
+difficulty ordering (CoLA and RTE are the fragile tasks, as in Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.metrics import METRICS
+from repro.data.topics import TopicModel
+from repro.data.vocab import Vocab
+
+__all__ = ["TaskSpec", "GlueDataset", "GLUE_TASKS", "make_task", "glue_score"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Static description of one synthetic GLUE task."""
+
+    name: str
+    pair: bool
+    num_classes: int  # 1 => regression
+    metric: str
+    train_size: int
+    eval_size: int
+    sentence_len: int = 6
+    purity: float = 0.95
+    label_noise: float = 0.03
+    num_topics: int = 8
+    epochs: int = 8  # recommended from-scratch budget at batch size 32
+    finetune_epochs: int = 4  # recommended budget from a pre-trained backbone
+    eval_splits: tuple[str, ...] = ("eval",)
+
+    @property
+    def regression(self) -> bool:
+        return self.num_classes == 1
+
+
+@dataclass
+class GlueDataset:
+    """Materialized examples for one split."""
+
+    input_ids: np.ndarray  # (N, seq) int64
+    attention_mask: np.ndarray  # (N, seq) int64
+    labels: np.ndarray  # (N,) int64 or float32
+    spec: TaskSpec
+
+    def __len__(self) -> int:
+        return len(self.input_ids)
+
+    @property
+    def seq_len(self) -> int:
+        return self.input_ids.shape[1]
+
+
+GLUE_TASKS: dict[str, TaskSpec] = {
+    "MNLI": TaskSpec("MNLI", pair=True, num_classes=3, metric="accuracy",
+                     train_size=1024, eval_size=192, num_topics=9, epochs=10,
+                     finetune_epochs=4, eval_splits=("m", "mm")),
+    "QQP": TaskSpec("QQP", pair=True, num_classes=2, metric="f1",
+                    train_size=1024, eval_size=192, epochs=8, finetune_epochs=3),
+    "SST-2": TaskSpec("SST-2", pair=False, num_classes=2, metric="accuracy",
+                      train_size=640, eval_size=192, purity=0.9, epochs=8,
+                      finetune_epochs=3),
+    "MRPC": TaskSpec("MRPC", pair=True, num_classes=2, metric="f1",
+                     train_size=640, eval_size=128, purity=0.88, label_noise=0.05,
+                     epochs=12, finetune_epochs=6),
+    "CoLA": TaskSpec("CoLA", pair=False, num_classes=2, metric="matthews",
+                     train_size=768, eval_size=128, label_noise=0.02, epochs=12,
+                     finetune_epochs=12),
+    "QNLI": TaskSpec("QNLI", pair=True, num_classes=2, metric="accuracy",
+                     train_size=896, eval_size=192, purity=0.92, epochs=9,
+                     finetune_epochs=3),
+    "RTE": TaskSpec("RTE", pair=True, num_classes=2, metric="accuracy",
+                    train_size=448, eval_size=96, purity=0.62, label_noise=0.06,
+                    epochs=15, finetune_epochs=8),
+    "STS-B": TaskSpec("STS-B", pair=True, num_classes=1, metric="spearman",
+                      train_size=768, eval_size=128, epochs=8, finetune_epochs=3),
+}
+
+
+def _encode_single(sentence: np.ndarray, seq_len: int, vocab: Vocab) -> np.ndarray:
+    ids = np.full(seq_len, vocab.PAD, dtype=np.int64)
+    body = sentence[: seq_len - 2]
+    ids[0] = vocab.CLS
+    ids[1 : 1 + len(body)] = body
+    ids[1 + len(body)] = vocab.SEP
+    return ids
+
+
+def _encode_pair(s1: np.ndarray, s2: np.ndarray, seq_len: int, vocab: Vocab) -> np.ndarray:
+    ids = np.full(seq_len, vocab.PAD, dtype=np.int64)
+    budget = seq_len - 3
+    l1 = min(len(s1), budget // 2)
+    l2 = min(len(s2), budget - l1)
+    ids[0] = vocab.CLS
+    ids[1 : 1 + l1] = s1[:l1]
+    ids[1 + l1] = vocab.SEP
+    ids[2 + l1 : 2 + l1 + l2] = s2[:l2]
+    ids[2 + l1 + l2] = vocab.SEP
+    return ids
+
+
+class _TaskGenerator:
+    """Sampler for one task over a shared topic model."""
+
+    def __init__(self, spec: TaskSpec, topics: TopicModel, seq_len: int):
+        self.spec = spec
+        self.topics = topics
+        self.vocab = topics.vocab
+        self.seq_len = seq_len
+
+    # ------------------------------------------------------------------
+    def generate(self, n: int, rng: np.random.Generator, purity: float | None = None):
+        purity = purity if purity is not None else self.spec.purity
+        model = TopicModel(self.vocab, self.spec.num_topics, purity)
+        rows, labels = [], []
+        for _ in range(n):
+            ids, label = self._example(model, rng)
+            rows.append(ids)
+            labels.append(label)
+        input_ids = np.stack(rows)
+        attention_mask = (input_ids != self.vocab.PAD).astype(np.int64)
+        label_arr = (
+            np.asarray(labels, dtype=np.float32)
+            if self.spec.regression
+            else np.asarray(labels, dtype=np.int64)
+        )
+        return GlueDataset(input_ids, attention_mask, label_arr, self.spec)
+
+    # ------------------------------------------------------------------
+    def _noisy(self, label: int, rng: np.random.Generator) -> int:
+        """Flip a binary/ternary label with the task's noise probability."""
+        if rng.random() < self.spec.label_noise:
+            others = [c for c in range(self.spec.num_classes) if c != label]
+            return int(rng.choice(others))
+        return label
+
+    def _example(self, model: TopicModel, rng: np.random.Generator):
+        name = self.spec.name
+        L = self.spec.sentence_len
+        half = model.num_topics // 2
+        if name == "SST-2":
+            topic = int(rng.integers(model.num_topics))
+            s = model.sample_sentence(topic, L * 2, rng)
+            label = self._noisy(int(topic < half), rng)
+            return _encode_single(s, self.seq_len, self.vocab), label
+        if name == "CoLA":
+            return self._cola_example(rng)
+        if name == "STS-B":
+            # Similarity = 5 × fraction of high-half content tokens in the pair.
+            content = np.array(list(self.vocab.content_range()))
+            mid = len(content) // 2
+            low_pool, high_pool = content[:mid], content[mid:]
+            alpha = float(rng.uniform(0, 1))
+            take_high = rng.random(2 * L) < alpha
+            tokens = np.where(
+                take_high,
+                rng.choice(high_pool, size=2 * L),
+                rng.choice(low_pool, size=2 * L),
+            ).astype(np.int64)
+            label = 5.0 * float(take_high.mean())
+            return _encode_pair(tokens[:L], tokens[L:], self.seq_len, self.vocab), label
+        if name == "MNLI":
+            # Label = ring-third difference (mod 3) of the two topics.
+            third = model.num_topics // 3
+            t1 = int(rng.integers(model.num_topics))
+            t2 = int(rng.integers(model.num_topics))
+            s1 = model.sample_sentence(t1, L, rng)
+            s2 = model.sample_sentence(t2, L, rng)
+            label = (t2 // third - t1 // third) % 3
+            return _encode_pair(s1, s2, self.seq_len, self.vocab), self._noisy(label, rng)
+        # Binary pair tasks (QQP / MRPC / QNLI / RTE): positive iff the two
+        # segments' topics fall in the same ring half. Task difficulty comes
+        # from the spec's purity (noisier topics) and train size.
+        t1 = int(rng.integers(model.num_topics))
+        t2 = int(rng.integers(model.num_topics))
+        s1 = model.sample_sentence(t1, L, rng)
+        s2 = model.sample_sentence(t2, L, rng)
+        label = int((t1 < half) == (t2 < half))
+        return _encode_pair(s1, s2, self.seq_len, self.vocab), self._noisy(label, rng)
+
+    def _cola_example(self, rng: np.random.Generator):
+        """Acceptability: tokens must alternate low-half / high-half ids.
+
+        The rule is absolute (even content positions carry low-half tokens,
+        odd positions high-half); unacceptable sentences replace one or two
+        tokens with wrong-half tokens. The decision therefore requires
+        fine-grained position×token information at *specific* positions —
+        exactly the kind of distributed, low-magnitude evidence that
+        sparsifying activations destroys first, which is why CoLA is the
+        paper's most compression-sensitive task.
+        """
+        vocab = self.vocab
+        content = np.array(list(vocab.content_range()))
+        half = len(content) // 2
+        low, high = content[:half], content[half:]
+        L = self.spec.sentence_len * 2
+        n_low = (L + 1) // 2
+        seq = np.empty(L, dtype=np.int64)
+        seq[0::2] = rng.choice(low, size=n_low)
+        seq[1::2] = rng.choice(high, size=L - n_low)
+        label = int(rng.integers(2))
+        if label == 0:  # corrupt: put wrong-half tokens at 1-2 positions
+            for j in rng.choice(L, size=int(rng.integers(1, 3)), replace=False):
+                seq[j] = rng.choice(high if j % 2 == 0 else low)
+        return _encode_single(seq, self.seq_len, vocab), self._noisy(label, rng)
+
+
+def make_task(
+    name: str,
+    topics: TopicModel | None = None,
+    seq_len: int = 16,
+    seed: int = 0,
+    train_size: int | None = None,
+) -> tuple[GlueDataset, dict[str, GlueDataset]]:
+    """Materialize the train split and eval split(s) of a task.
+
+    MNLI gets two eval splits: *matched* at the train purity and
+    *mismatched* at reduced purity (a mild domain shift), echoing GLUE.
+    """
+    if name not in GLUE_TASKS:
+        raise KeyError(f"unknown task {name!r}; valid: {sorted(GLUE_TASKS)}")
+    spec = GLUE_TASKS[name]
+    topics = topics if topics is not None else TopicModel()
+    gen = _TaskGenerator(spec, topics, seq_len)
+    rng = np.random.default_rng(seed + hash(name) % 100000)
+    n_train = train_size if train_size is not None else spec.train_size
+    train = gen.generate(n_train, rng)
+    evals: dict[str, GlueDataset] = {}
+    for split in spec.eval_splits:
+        purity = spec.purity * 0.9 if split == "mm" else None
+        evals[split] = gen.generate(spec.eval_size, rng, purity=purity)
+    return train, evals
+
+
+def glue_score(results: dict[str, float]) -> float:
+    """Average of per-task scores (the paper's ``Avg.`` column).
+
+    ``results`` maps column names (e.g. ``"MNLI-m"``, ``"CoLA"``) to scores
+    already on the ×100 scale.
+    """
+    if not results:
+        raise ValueError("no results to average")
+    return float(np.mean(list(results.values())))

@@ -1,0 +1,76 @@
+"""Latent topic model driving all synthetic text generation.
+
+Content tokens are partitioned into ``num_topics`` equal groups; a sentence
+on topic ``t`` samples ``purity`` of its tokens from topic ``t`` and the
+rest uniformly from all content tokens. Topics are arranged on a ring so
+"related" topics (distance 1) exist for the MNLI-style *neutral* class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.vocab import Vocab
+
+__all__ = ["TopicModel"]
+
+
+class TopicModel:
+    """Shared generative structure for GLUE analogues and the MLM corpus.
+
+    Parameters
+    ----------
+    vocab:
+        The token vocabulary.
+    num_topics:
+        Number of latent topics (ring-structured).
+    purity:
+        Fraction of a sentence's tokens drawn from its topic.
+    """
+
+    def __init__(self, vocab: Vocab | None = None, num_topics: int = 8, purity: float = 0.8):
+        self.vocab = vocab if vocab is not None else Vocab()
+        if num_topics < 3:
+            raise ValueError("need at least 3 topics for the ring structure")
+        if not 0.0 < purity <= 1.0:
+            raise ValueError("purity must be in (0, 1]")
+        self.num_topics = num_topics
+        self.purity = purity
+        content = np.array(list(self.vocab.content_range()))
+        self.topic_tokens = np.array_split(content, num_topics)
+
+    # ------------------------------------------------------------------
+    def sample_sentence(self, topic: int, length: int, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``length`` content tokens for ``topic``."""
+        topic = topic % self.num_topics
+        own = self.topic_tokens[topic]
+        n_topic = int(round(self.purity * length))
+        tokens = np.concatenate([
+            rng.choice(own, size=n_topic),
+            rng.choice(np.array(list(self.vocab.content_range())), size=length - n_topic),
+        ])
+        rng.shuffle(tokens)
+        return tokens.astype(np.int64)
+
+    def ring_distance(self, a: int, b: int) -> int:
+        """Distance between topics on the ring."""
+        d = abs(a - b) % self.num_topics
+        return min(d, self.num_topics - d)
+
+    def related_topic(self, topic: int, rng: np.random.Generator) -> int:
+        """A ring-neighbour of ``topic`` (distance exactly 1)."""
+        return (topic + rng.choice([-1, 1])) % self.num_topics
+
+    def far_topic(self, topic: int, rng: np.random.Generator) -> int:
+        """A topic at ring distance ≥ 2 from ``topic``."""
+        candidates = [t for t in range(self.num_topics) if self.ring_distance(t, topic) >= 2]
+        return int(rng.choice(candidates))
+
+    def topic_of_token(self, token: int) -> int | None:
+        """Topic owning ``token`` (None for specials)."""
+        if self.vocab.is_special(token):
+            return None
+        for t, toks in enumerate(self.topic_tokens):
+            if token in toks:
+                return t
+        return None

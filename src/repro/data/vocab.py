@@ -1,0 +1,41 @@
+"""Token vocabulary with BERT-style special tokens."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Vocab"]
+
+
+@dataclass(frozen=True)
+class Vocab:
+    """Vocabulary layout: ``[PAD, CLS, SEP, MASK, UNK, content...]``.
+
+    Content token ids run from :attr:`content_start` to ``size - 1``.
+    """
+
+    size: int = 128
+
+    PAD: int = 0
+    CLS: int = 1
+    SEP: int = 2
+    MASK: int = 3
+    UNK: int = 4
+
+    @property
+    def content_start(self) -> int:
+        return 5
+
+    @property
+    def num_content(self) -> int:
+        return self.size - self.content_start
+
+    def __post_init__(self):
+        if self.size < 16:
+            raise ValueError("vocabulary too small to hold specials + content")
+
+    def is_special(self, token: int) -> bool:
+        return token < self.content_start
+
+    def content_range(self) -> range:
+        return range(self.content_start, self.size)

@@ -1,0 +1,52 @@
+"""Experiment harness: one entry point per paper table/figure.
+
+Timing experiments (Tables 2–4, 6–7, 9, 11–14, Fig. 1) run on the
+calibrated simulator and are fast; accuracy experiments (Tables 5, 8,
+15–16, Fig. 4) really train the scaled-down model-parallel BERT and take
+seconds-to-minutes per cell. ``REPRO_PROFILE=quick`` (the default for the
+expensive accuracy benches is ``full`` for Tables 5/8 and ``quick`` for the
+appendix sweeps) trims tasks/schemes for smoke runs.
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.timing import (
+    figure1_comm_overhead,
+    table2_finetune_nvlink,
+    table3_nvlink_ablation,
+    table4_breakdown_finetune,
+    table6_pretrain,
+    table7_breakdown_pretrain,
+    table9_stage_comm,
+    tables11_14_hparam_sweep,
+)
+from repro.experiments.accuracy import (
+    pretrain_backbone,
+    table5_glue_accuracy,
+    table8_pretrain_accuracy,
+    fig4a_num_layers,
+    fig4b_location,
+    tables15_16_accuracy,
+)
+from repro.experiments.perfscale import figure5_fit, table10_weak_scaling
+from repro.experiments.lowrank import figure2_lowrank
+
+__all__ = [
+    "format_table",
+    "figure1_comm_overhead",
+    "table2_finetune_nvlink",
+    "table3_nvlink_ablation",
+    "table4_breakdown_finetune",
+    "table6_pretrain",
+    "table7_breakdown_pretrain",
+    "table9_stage_comm",
+    "tables11_14_hparam_sweep",
+    "pretrain_backbone",
+    "table5_glue_accuracy",
+    "table8_pretrain_accuracy",
+    "fig4a_num_layers",
+    "fig4b_location",
+    "tables15_16_accuracy",
+    "figure5_fit",
+    "table10_weak_scaling",
+    "figure2_lowrank",
+]

@@ -1,0 +1,36 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(v) -> str:
+    """Human-friendly cell formatting (comma-grouped ms, 2 decimals)."""
+    if isinstance(v, float):
+        if abs(v) >= 1000:
+            return f"{v:,.2f}"
+        return f"{v:.2f}"
+    return str(v)
+
+
+def format_table(
+    rows: list[dict],
+    columns: list[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` (list of dicts) as an aligned text table."""
+    if not rows:
+        return f"{title or ''}\n(empty)"
+    columns = columns or list(rows[0].keys())
+    cells = [[format_value(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    sep = "-" * len(header)
+    body = "\n".join(
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths)) for row in cells
+    )
+    parts = [title, header, sep, body] if title else [header, sep, body]
+    return "\n".join(p for p in parts if p)

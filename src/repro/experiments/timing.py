@@ -1,0 +1,172 @@
+"""Simulator-backed timing experiments (Tables 2–4, 6–7, 9, 11–14, Fig. 1)."""
+
+from __future__ import annotations
+
+from repro.compression import CompressionPolicy
+from repro.parallel.topology import ClusterTopology
+from repro.simulator import IterationSimulator, SimSetting
+from repro.simulator.pipeline_sim import stage_boundary_times
+
+__all__ = [
+    "FINETUNE_SCHEMES",
+    "PRETRAIN_SCHEMES",
+    "figure1_comm_overhead",
+    "table2_finetune_nvlink",
+    "table3_nvlink_ablation",
+    "table4_breakdown_finetune",
+    "table6_pretrain",
+    "table7_breakdown_pretrain",
+    "table9_stage_comm",
+    "tables11_14_hparam_sweep",
+]
+
+#: Scheme columns of Tables 2/6 (main text).
+FINETUNE_SCHEMES = ["w/o", "A1", "A2", "T1", "T2", "T3", "T4",
+                    "R1", "R2", "R3", "R4", "Q1", "Q2"]
+PRETRAIN_SCHEMES = FINETUNE_SCHEMES
+#: Appendix tables add the 8-bit Q3.
+APPENDIX_SCHEMES = FINETUNE_SCHEMES + ["Q3"]
+
+_FINETUNE_GRID = [(1, 4), (2, 2), (4, 1)]
+_PRETRAIN_GRID = [(2, 8), (4, 4), (8, 2)]
+
+
+def _finetune_setting(topology, tp, pp, scheme, batch=32, seq=512):
+    return SimSetting(topology, tp, pp, batch, seq, num_microbatches=1, scheme=scheme)
+
+
+def _pretrain_setting(tp, pp, scheme):
+    return SimSetting(
+        ClusterTopology.p3_8xlarge(4), tp, pp, 128, 128,
+        num_microbatches=8, scheme=scheme,
+    )
+
+
+def figure1_comm_overhead(tp: int = 4) -> list[dict]:
+    """Fig. 1: fraction of iteration time spent on MP communication.
+
+    Sweeps (batch, seq) on BERT-Large with TP=tp over NVLink, as in the
+    figure's x-axis of (batch size, sequence length) pairs.
+    """
+    grid = [(8, 128), (8, 512), (32, 128), (32, 512), (64, 512)]
+    topo = ClusterTopology.local_pcie()
+    rows = []
+    for batch, seq in grid:
+        sim = IterationSimulator(_finetune_setting(topo, tp, 1, "w/o", batch, seq))
+        b = sim.breakdown()
+        comm = b.tensor_comm_ms + b.pipeline_ms
+        # Backward f all-reduces live in the backward column; count them too.
+        bwd_comm = b.tensor_comm_ms  # symmetric f collectives
+        comm_total = comm + bwd_comm
+        rows.append({
+            "batch": batch,
+            "seq": seq,
+            "total_ms": b.total_ms,
+            "comm_ms": comm_total,
+            "comm_fraction": comm_total / b.total_ms,
+        })
+    return rows
+
+
+def _scheme_sweep(grid, schemes, setting_fn) -> list[dict]:
+    rows = []
+    for tp, pp in grid:
+        row: dict = {"setting": f"TP={tp}, PP={pp}"}
+        for scheme in schemes:
+            row[scheme] = IterationSimulator(setting_fn(tp, pp, scheme)).total_ms()
+        rows.append(row)
+    return rows
+
+
+def table2_finetune_nvlink(schemes=None) -> list[dict]:
+    """Table 2: fine-tune iteration time (ms), NVLink machine, b=32 s=512."""
+    schemes = schemes or FINETUNE_SCHEMES
+    topo = ClusterTopology.p3_8xlarge()
+    return _scheme_sweep(
+        _FINETUNE_GRID, schemes, lambda tp, pp, s: _finetune_setting(topo, tp, pp, s)
+    )
+
+
+def table3_nvlink_ablation() -> list[dict]:
+    """Table 3: w/o vs A1/A2 with and without NVLink."""
+    rows = []
+    for name, topo in [("With NVLink", ClusterTopology.p3_8xlarge()),
+                       ("Without NVLink", ClusterTopology.local_pcie())]:
+        for tp, pp in _FINETUNE_GRID:
+            row = {"machine": name, "setting": f"TP={tp}, PP={pp}"}
+            for scheme in ["w/o", "A1", "A2"]:
+                row[scheme] = IterationSimulator(
+                    _finetune_setting(topo, tp, pp, scheme)
+                ).total_ms()
+            rows.append(row)
+    return rows
+
+
+def _breakdown_rows(schemes, setting_fn) -> list[dict]:
+    rows = []
+    for scheme in schemes:
+        b = IterationSimulator(setting_fn(scheme)).breakdown()
+        rows.append({
+            "scheme": scheme,
+            "forward": b.forward_ms,
+            "backward": b.backward_ms,
+            "optimizer": b.optimizer_ms,
+            "wait_pipeline": b.pipeline_ms,
+            "total": b.total_ms,
+            "tensor_enc": b.encode_ms,
+            "tensor_dec": b.decode_ms,
+            "tensor_comm": b.tensor_comm_ms,
+        })
+    return rows
+
+
+def table4_breakdown_finetune(schemes=None) -> list[dict]:
+    """Table 4: per-phase breakdown, local PCIe machine, TP=2 PP=2."""
+    schemes = schemes or FINETUNE_SCHEMES
+    topo = ClusterTopology.local_pcie()
+    return _breakdown_rows(
+        schemes, lambda s: _finetune_setting(topo, 2, 2, s)
+    )
+
+
+def table6_pretrain(schemes=None) -> list[dict]:
+    """Table 6: pre-train iteration time, 4×p3.8xlarge, micro=128 global=1024."""
+    schemes = schemes or PRETRAIN_SCHEMES
+    return _scheme_sweep(_PRETRAIN_GRID, schemes, _pretrain_setting)
+
+
+def table7_breakdown_pretrain(schemes=None) -> list[dict]:
+    """Table 7: pre-train breakdown at TP=4 PP=4."""
+    schemes = schemes or PRETRAIN_SCHEMES
+    return _breakdown_rows(schemes, lambda s: _pretrain_setting(4, 4, s))
+
+
+def table9_stage_comm() -> list[dict]:
+    """Table 9: per-boundary comm time, w/o vs A2, PP=4 with last-12 policy."""
+    wo = stage_boundary_times(_pretrain_setting(4, 4, "w/o"))
+    a2 = stage_boundary_times(_pretrain_setting(4, 4, "A2"))
+    return [
+        {"stages": k, "comm_wo": wo[k], "comm_A2": a2[k]} for k in wo
+    ]
+
+
+def tables11_14_hparam_sweep(schemes=None) -> dict[str, list[dict]]:
+    """Tables 11–14: fine-tune sweep over (machine, batch, seq=128).
+
+    Table 11: NVLink b=32; 12: NVLink b=8; 13: PCIe b=32; 14: PCIe b=8 —
+    all at sequence length 128, where compression stops paying (§4.6).
+    """
+    schemes = schemes or APPENDIX_SCHEMES
+    machines = {
+        "table11_nvlink_b32": (ClusterTopology.p3_8xlarge(), 32),
+        "table12_nvlink_b8": (ClusterTopology.p3_8xlarge(), 8),
+        "table13_pcie_b32": (ClusterTopology.local_pcie(), 32),
+        "table14_pcie_b8": (ClusterTopology.local_pcie(), 8),
+    }
+    out = {}
+    for key, (topo, batch) in machines.items():
+        out[key] = _scheme_sweep(
+            _FINETUNE_GRID, schemes,
+            lambda tp, pp, s, _t=topo, _b=batch: _finetune_setting(_t, tp, pp, s, _b, 128),
+        )
+    return out

@@ -1,0 +1,32 @@
+"""Neural-network module system built on :mod:`repro.tensor`.
+
+Mirrors the subset of ``torch.nn`` needed for BERT-style transformers:
+a :class:`Module` base with parameter registration, core layers, and the
+transformer/BERT model definitions used throughout the reproduction.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, Embedding, LayerNorm, Dropout
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import TransformerLayer, TransformerEncoder, TransformerConfig
+from repro.nn.bert import (
+    BertModel,
+    BertForSequenceClassification,
+    BertForPreTraining,
+)
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "MultiHeadAttention",
+    "TransformerLayer",
+    "TransformerEncoder",
+    "TransformerConfig",
+    "BertModel",
+    "BertForSequenceClassification",
+    "BertForPreTraining",
+]

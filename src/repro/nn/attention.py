@@ -1,0 +1,78 @@
+"""Multi-head self-attention."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear
+from repro.nn.module import Module
+from repro.tensor import Tensor, functional as F
+
+__all__ = ["MultiHeadAttention", "attention_core"]
+
+
+def attention_core(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    attention_mask: np.ndarray | None = None,
+) -> Tensor:
+    """Scaled dot-product attention over per-head tensors.
+
+    Parameters
+    ----------
+    q, k, v:
+        Shape ``(batch, heads, seq, head_dim)``.
+    attention_mask:
+        Boolean array broadcastable to ``(batch, heads, seq, seq)`` where
+        ``True`` marks positions to mask out (padding).
+    """
+    head_dim = q.shape[-1]
+    scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(head_dim))
+    if attention_mask is not None:
+        scores = F.masked_fill(scores, attention_mask, -1e9)
+    probs = F.softmax(scores, axis=-1)
+    return probs @ v
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head self-attention with output projection.
+
+    This serial version is the reference; the tensor-parallel counterpart
+    (:class:`repro.parallel.tensor_parallel.ParallelAttention`) partitions
+    the heads across ranks and must compute the same function.
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+        init_std: float = 0.02,
+    ):
+        super().__init__()
+        if hidden % num_heads != 0:
+            raise ValueError(f"hidden={hidden} not divisible by num_heads={num_heads}")
+        self.hidden = hidden
+        self.num_heads = num_heads
+        self.head_dim = hidden // num_heads
+        self.qkv = Linear(hidden, 3 * hidden, rng, init_std=init_std)
+        self.out = Linear(hidden, hidden, rng, init_std=init_std)
+        self.dropout = Dropout(dropout, rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        b, s, _ = x.shape
+        return x.reshape(b, s, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        b, s, _ = x.shape
+        qkv = self.qkv(x)
+        q = self._split_heads(qkv[:, :, : self.hidden])
+        k = self._split_heads(qkv[:, :, self.hidden : 2 * self.hidden])
+        v = self._split_heads(qkv[:, :, 2 * self.hidden :])
+        ctx = attention_core(q, k, v, attention_mask)
+        ctx = ctx.transpose(0, 2, 1, 3).reshape(b, s, self.hidden)
+        return self.dropout(self.out(ctx))

@@ -1,0 +1,115 @@
+"""BERT-style models: encoder backbone plus task heads.
+
+Three entry points mirror the paper's workflow:
+
+- :class:`BertModel` — embeddings + transformer encoder.
+- :class:`BertForSequenceClassification` — GLUE fine-tuning head
+  (classification or regression, per-task; see §4.3).
+- :class:`BertForPreTraining` — masked-language-model head (§4.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.transformer import TransformerConfig, TransformerEncoder
+from repro.tensor import Tensor, functional as F
+
+__all__ = ["BertModel", "BertForSequenceClassification", "BertForPreTraining"]
+
+
+class BertModel(Module):
+    """Embedding layers + transformer encoder stack."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.hidden, rng, config.init_std)
+        self.position_embedding = Embedding(config.max_seq_len, config.hidden, rng, config.init_std)
+        self.embed_ln = LayerNorm(config.hidden)
+        self.embed_dropout = Dropout(config.dropout, rng)
+        self.encoder = TransformerEncoder(config, rng)
+
+    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        """Encode ``input_ids`` of shape ``(batch, seq)`` to hidden states.
+
+        ``attention_mask`` is 1 for real tokens and 0 for padding.
+        """
+        input_ids = np.asarray(input_ids)
+        b, s = input_ids.shape
+        if s > self.config.max_seq_len:
+            raise ValueError(f"sequence length {s} exceeds max {self.config.max_seq_len}")
+        pos = np.arange(s)[None, :].repeat(b, axis=0)
+        x = self.token_embedding(input_ids) + self.position_embedding(pos)
+        x = self.embed_dropout(self.embed_ln(x))
+        mask4d = None
+        if attention_mask is not None:
+            # True marks masked-out (padding) key positions.
+            mask4d = (np.asarray(attention_mask) == 0)[:, None, None, :]
+        return self.encoder(x, mask4d)
+
+
+class BertForSequenceClassification(Module):
+    """Backbone + pooled classification/regression head (GLUE)."""
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        rng: np.random.Generator | None = None,
+        regression: bool = False,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.config = config
+        self.regression = regression
+        self.bert = BertModel(config, rng)
+        num_out = 1 if regression else config.num_classes
+        self.classifier = Linear(config.hidden, num_out, rng, init_std=config.init_std)
+
+    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        hidden = self.bert(input_ids, attention_mask)
+        # Pool the first ([CLS]) token, as in BERT.
+        pooled = hidden[:, 0, :]
+        return self.classifier(pooled)
+
+    def loss(self, input_ids, labels, attention_mask=None) -> Tensor:
+        """Task loss: cross-entropy for classification, MSE for regression."""
+        logits = self.forward(input_ids, attention_mask)
+        if self.regression:
+            return F.mse_loss(logits.reshape(-1), np.asarray(labels, dtype=np.float32))
+        return F.cross_entropy(logits, np.asarray(labels))
+
+    def predict(self, input_ids, attention_mask=None) -> np.ndarray:
+        """Class predictions (or raw scores for regression)."""
+        logits = self.forward(input_ids, attention_mask)
+        if self.regression:
+            return logits.data.reshape(-1)
+        return logits.data.argmax(axis=-1)
+
+
+class BertForPreTraining(Module):
+    """Backbone + masked-language-model head."""
+
+    IGNORE_INDEX = -100
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.config = config
+        self.bert = BertModel(config, rng)
+        self.mlm_dense = Linear(config.hidden, config.hidden, rng, init_std=config.init_std)
+        self.mlm_ln = LayerNorm(config.hidden)
+        self.mlm_head = Linear(config.hidden, config.vocab_size, rng, init_std=config.init_std)
+
+    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        hidden = self.bert(input_ids, attention_mask)
+        h = self.mlm_ln(F.gelu(self.mlm_dense(hidden)))
+        return self.mlm_head(h)
+
+    def loss(self, input_ids, mlm_labels, attention_mask=None) -> Tensor:
+        """MLM cross-entropy; positions equal to ``IGNORE_INDEX`` are skipped."""
+        logits = self.forward(input_ids, attention_mask)
+        return F.cross_entropy(logits, np.asarray(mlm_labels), ignore_index=self.IGNORE_INDEX)

@@ -1,0 +1,99 @@
+"""Core layers: Linear, Embedding, LayerNorm, Dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor, functional as F
+
+__all__ = ["Linear", "Embedding", "LayerNorm", "Dropout"]
+
+
+class Linear(Module):
+    """Affine layer with weight shape ``(in_features, out_features)``.
+
+    The non-transposed layout makes Megatron-style column/row parallel
+    partitioning a contiguous slice (columns = output features, rows =
+    input features).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+        init_std: float = 0.02,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            rng.normal(0.0, init_std, size=(in_features, out_features)).astype(np.float32)
+        )
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
+
+
+class Embedding(Module):
+    """Token embedding table of shape ``(num_embeddings, dim)``."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng: np.random.Generator,
+        init_std: float = 0.02,
+    ):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(
+            rng.normal(0.0, init_std, size=(num_embeddings, dim)).astype(np.float32)
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        return F.embedding(self.weight, ids)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.dim})"
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(np.ones(dim, dtype=np.float32))
+        self.bias = Parameter(np.zeros(dim, dtype=np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.dim})"
+
+
+class Dropout(Module):
+    """Inverted dropout driven by an explicit RNG for reproducibility."""
+
+    def __init__(self, p: float, rng: np.random.Generator):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.rng, training=self.training)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

@@ -1,0 +1,99 @@
+"""Transformer encoder layer and stack (BERT-style, post-LN)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module
+from repro.nn.module import ModuleList
+from repro.tensor import Tensor, functional as F
+
+__all__ = ["TransformerConfig", "TransformerLayer", "TransformerEncoder"]
+
+
+@dataclass
+class TransformerConfig:
+    """Architecture hyper-parameters.
+
+    Defaults describe the small model used for (real) accuracy experiments;
+    ``bert_large()`` gives the paper's 345M-parameter configuration, which
+    is used only inside the performance simulator.
+    """
+
+    vocab_size: int = 128
+    max_seq_len: int = 64
+    hidden: int = 64
+    num_layers: int = 4
+    num_heads: int = 4
+    ffn_hidden: int | None = None
+    dropout: float = 0.0
+    init_std: float = 0.02
+    num_classes: int = 2
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.ffn_hidden is None:
+            self.ffn_hidden = 4 * self.hidden
+        if self.hidden % self.num_heads != 0:
+            raise ValueError("hidden must be divisible by num_heads")
+
+    @staticmethod
+    def bert_large() -> "TransformerConfig":
+        """The paper's BERT-Large: 24 layers, hidden 1024, 16 heads."""
+        return TransformerConfig(
+            vocab_size=30522,
+            max_seq_len=512,
+            hidden=1024,
+            num_layers=24,
+            num_heads=16,
+        )
+
+
+class TransformerLayer(Module):
+    """Post-LN encoder block: MHA + residual + LN, FFN + residual + LN."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.attn = MultiHeadAttention(
+            config.hidden, config.num_heads, rng, dropout=config.dropout, init_std=config.init_std
+        )
+        self.ln1 = LayerNorm(config.hidden)
+        self.fc1 = Linear(config.hidden, config.ffn_hidden, rng, init_std=config.init_std)
+        self.fc2 = Linear(config.ffn_hidden, config.hidden, rng, init_std=config.init_std)
+        self.ln2 = LayerNorm(config.hidden)
+        self.dropout = Dropout(config.dropout, rng)
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        x = self.ln1(x + self.attn(x, attention_mask))
+        h = self.fc2(F.gelu(self.fc1(x)))
+        return self.ln2(x + self.dropout(h))
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerLayer` with optional per-layer hooks.
+
+    ``layer_hooks`` is the integration point for activation compression in
+    the *serial* (non-model-parallel) path: hook ``i`` is applied to the
+    output of layer ``i``. The model-parallel runtime instead compresses
+    inside its communication ops.
+    """
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.layers = ModuleList(
+            TransformerLayer(config, rng) for _ in range(config.num_layers)
+        )
+        self.layer_hooks: dict[int, callable] = {}
+
+    def forward(self, x: Tensor, attention_mask: np.ndarray | None = None) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x, attention_mask)
+            hook = self.layer_hooks.get(i)
+            if hook is not None:
+                x = hook(x)
+        return x

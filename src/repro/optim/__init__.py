@@ -1,0 +1,6 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.optimizer import Optimizer, SGD, Adam, AdamW
+from repro.optim.lr_scheduler import LRSchedule, ConstantLR, WarmupLinearLR
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "LRSchedule", "ConstantLR", "WarmupLinearLR"]

@@ -1,0 +1,48 @@
+"""Learning-rate schedules as callables step -> lr multiplier."""
+
+from __future__ import annotations
+
+__all__ = ["LRSchedule", "ConstantLR", "WarmupLinearLR"]
+
+
+class LRSchedule:
+    """Base schedule: drives ``optimizer.lr`` each call to :meth:`step`."""
+
+    def __init__(self, optimizer, base_lr: float | None = None):
+        self.optimizer = optimizer
+        self.base_lr = base_lr if base_lr is not None else optimizer.lr
+        self._step = 0
+
+    def multiplier(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self._step += 1
+        lr = self.base_lr * self.multiplier(self._step)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(LRSchedule):
+    """No-op schedule."""
+
+    def multiplier(self, step: int) -> float:
+        return 1.0
+
+
+class WarmupLinearLR(LRSchedule):
+    """Linear warmup followed by linear decay to zero (BERT default)."""
+
+    def __init__(self, optimizer, warmup_steps: int, total_steps: int, base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.warmup_steps = max(warmup_steps, 0)
+        self.total_steps = total_steps
+
+    def multiplier(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return step / self.warmup_steps
+        remaining = max(self.total_steps - step, 0)
+        denom = max(self.total_steps - self.warmup_steps, 1)
+        return remaining / denom

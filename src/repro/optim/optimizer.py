@@ -1,0 +1,117 @@
+"""SGD / Adam / AdamW on :class:`repro.nn.Parameter` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW"]
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, params: list[Tensor], lr: float):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.step_count += 1
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            self._update(i, p)
+
+    def _update(self, index: int, p: Tensor) -> None:
+        raise NotImplementedError
+
+    def clip_grad_norm(self, max_norm: float) -> float:
+        """Clip the global gradient norm in place; returns the pre-clip norm."""
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                total += float((p.grad.astype(np.float64) ** 2).sum())
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and weight decay."""
+
+    def __init__(self, params, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, p: Tensor) -> None:
+        g = p.grad
+        if self.weight_decay:
+            g = g + self.weight_decay * p.data
+        if self.momentum:
+            v = self._velocity.get(index)
+            v = self.momentum * v + g if v is not None else g.copy()
+            self._velocity[index] = v
+            g = v
+        p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+
+    def _effective_grad(self, p: Tensor) -> np.ndarray:
+        if self.weight_decay:
+            return p.grad + self.weight_decay * p.data
+        return p.grad
+
+    def _update(self, index: int, p: Tensor) -> None:
+        b1, b2 = self.betas
+        g = self._effective_grad(p)
+        m = self._m.get(index)
+        v = self._v.get(index)
+        m = b1 * m + (1 - b1) * g if m is not None else (1 - b1) * g
+        v = b2 * v + (1 - b2) * g * g if v is not None else (1 - b2) * g * g
+        self._m[index], self._v[index] = m, v
+        mhat = m / (1 - b1**self.step_count)
+        vhat = v / (1 - b2**self.step_count)
+        p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _effective_grad(self, p: Tensor) -> np.ndarray:
+        return p.grad
+
+    def _update(self, index: int, p: Tensor) -> None:
+        if self.weight_decay:
+            p.data -= self.lr * self.weight_decay * p.data
+        super()._update(index, p)

@@ -1,0 +1,57 @@
+"""In-process model-parallel runtime (the Megatron-LM substitute).
+
+The runtime executes tensor parallelism (TP) and pipeline parallelism (PP)
+over *logical ranks* inside one process:
+
+- :mod:`repro.parallel.topology` — cluster description (nodes, GPUs, links)
+  and the TP×PP rank layout.
+- :mod:`repro.parallel.collectives` — the data-plane collectives
+  (compressible all-reduce / all-gather / pipeline send) as autograd ops,
+  plus :class:`CommTracker` recording every message's exact wire bytes.
+- :mod:`repro.parallel.tensor_parallel` — Megatron-style column/row-parallel
+  linear layers, parallel attention/MLP, parallel transformer layer.
+- :mod:`repro.parallel.pipeline` — stage partitioning and the GPipe
+  microbatch schedule description used by the performance simulator.
+- :mod:`repro.parallel.runtime` — full model-parallel BERT assembling the
+  above with a compression scheme and placement policy.
+
+Numerics are *faithful*: with no compression, every parallel configuration
+computes bit-for-bit (up to float associativity) the same function as the
+serial model — tested in ``tests/parallel/test_equivalence.py``. Compression
+changes exactly what the paper's implementation changes: the tensors crossing
+TP all-reduce sites and PP stage boundaries.
+"""
+
+from repro.parallel.topology import ClusterTopology, LinkType, ParallelLayout
+from repro.parallel.collectives import CommEvent, CommTracker
+from repro.parallel.tensor_parallel import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    ParallelAttention,
+    ParallelMLP,
+    ParallelTransformerLayer,
+)
+from repro.parallel.pipeline import PipelinePartition, pipeline_stages
+from repro.parallel.runtime import (
+    ModelParallelConfig,
+    ModelParallelBertClassifier,
+    ModelParallelBertPreTraining,
+)
+
+__all__ = [
+    "ClusterTopology",
+    "LinkType",
+    "ParallelLayout",
+    "CommEvent",
+    "CommTracker",
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "ParallelAttention",
+    "ParallelMLP",
+    "ParallelTransformerLayer",
+    "PipelinePartition",
+    "pipeline_stages",
+    "ModelParallelConfig",
+    "ModelParallelBertClassifier",
+    "ModelParallelBertPreTraining",
+]

@@ -1,0 +1,246 @@
+"""Data-plane collectives as autograd ops, with exact byte accounting.
+
+The runtime is single-process, so a "collective" here operates on the list
+of per-rank partial tensors directly. What makes it faithful is that
+
+1. the *math* matches the distributed operation (all-reduce = sum of
+   partials; the compressed variants combine messages exactly the way the
+   paper's Megatron patch does — AE encodes before the all-reduce, the
+   sparse/quantized schemes ride an all-gather and are summed after
+   decompression, §3.2); and
+2. every message is logged to a :class:`CommTracker` with the wire bytes a
+   real NCCL implementation would move, including the *backward* messages
+   (recorded from inside backward closures as the gradient crosses the
+   same cut points).
+
+The performance simulator consumes these events (or their analytic
+equivalents) to produce the paper's timing tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.base import BYTES_FP16, Compressor
+from repro.compression.autoencoder import AutoencoderCompressor
+from repro.tensor import Tensor
+
+__all__ = ["CommEvent", "CommTracker", "tp_all_reduce", "tp_broadcast", "pipeline_transfer"]
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One logged message (or collective round) on the simulated wire."""
+
+    op: str  # "all_reduce" | "all_gather" | "send"
+    group: str  # "tp" | "pp"
+    phase: str  # "forward" | "backward"
+    scheme: str
+    wire_bytes: int  # per-rank message payload in bytes
+    world: int  # number of participating ranks
+    shape: tuple[int, ...]  # uncompressed activation shape
+    layer: int | None = None
+    site: str = ""
+
+
+class CommTracker:
+    """Accumulates :class:`CommEvent` records for one or more iterations."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: list[CommEvent] = []
+
+    def record(self, event: CommEvent) -> None:
+        if self.enabled:
+            self.events.append(event)
+
+    def reset(self) -> None:
+        self.events.clear()
+
+    # ------------------------------------------------------------------
+    def filtered(self, **criteria) -> list[CommEvent]:
+        """Events matching all given attribute=value criteria."""
+        out = self.events
+        for key, value in criteria.items():
+            out = [e for e in out if getattr(e, key) == value]
+        return out
+
+    def total_bytes(self, **criteria) -> int:
+        """Sum of per-rank wire bytes over matching events."""
+        return sum(e.wire_bytes for e in self.filtered(**criteria))
+
+    def count(self, **criteria) -> int:
+        return len(self.filtered(**criteria))
+
+    def __repr__(self) -> str:
+        return f"CommTracker(events={len(self.events)}, bytes={self.total_bytes()})"
+
+
+def _dense_bytes(shape: tuple[int, ...]) -> int:
+    return int(np.prod(shape)) * BYTES_FP16
+
+
+def tp_broadcast(x: Tensor, world: int, tracker: CommTracker, *, layer: int | None = None,
+                 site: str = "") -> Tensor:
+    """Megatron's ``f`` op: identity forward, all-reduce in backward.
+
+    In tensor parallelism the layer input is replicated; each rank's
+    backward produces a partial input-gradient that must be all-reduced.
+    In-process the summation happens automatically because the same tensor
+    feeds every rank's shard — this op only *accounts* for the backward
+    collective.
+    """
+    if world <= 1:
+        return x
+    shape = tuple(x.shape)
+
+    def backward(g):
+        tracker.record(
+            CommEvent(
+                op="all_reduce",
+                group="tp",
+                phase="backward",
+                scheme="none",
+                wire_bytes=_dense_bytes(shape),
+                world=world,
+                shape=shape,
+                layer=layer,
+                site=site,
+            )
+        )
+        return (g,)
+
+    return Tensor._make(x.data, (x,), backward)
+
+
+def tp_all_reduce(
+    partials: list[Tensor],
+    compressor: Compressor,
+    tracker: CommTracker,
+    *,
+    layer: int | None = None,
+    site: str = "",
+) -> Tensor:
+    """Megatron's ``g`` op with optional compression: sum per-rank partials.
+
+    - No compression → plain all-reduce of the dense fp16 activation.
+    - AE → each rank encodes its partial, the all-reduce runs over the
+      (much smaller) code, one decode after. Linearity makes this exactly
+      ``dec(enc(Σ xᵢ))``.
+    - Top-K / Random-K / quantization → the message is two tensors (or a
+      non-float dtype), so the runtime all-gathers the compressed messages
+      and sums the decompressed partials, exactly like the paper's
+      ``gather-from-tensor-model-parallel-region`` fallback.
+
+    Backward traffic is logged per scheme via ``Compressor.backward_bytes``.
+    """
+    if not partials:
+        raise ValueError("tp_all_reduce needs at least one partial")
+    world = len(partials)
+    shape = tuple(partials[0].shape)
+    for p in partials[1:]:
+        if tuple(p.shape) != shape:
+            raise ValueError(f"mismatched partial shapes: {shape} vs {tuple(p.shape)}")
+
+    if world == 1:
+        # No TP communication exists, so there is nothing to compress
+        # (matches the paper's TP=1 rows, where only PP traffic is compressed).
+        return partials[0]
+
+    if _is_identity(compressor):
+        out = _sum_tensors(partials)
+        tracker.record(
+            CommEvent("all_reduce", "tp", "forward", "none", _dense_bytes(shape),
+                      world, shape, layer, site)
+        )
+        return _with_backward_event(
+            out, tracker,
+            CommEvent("all_reduce", "tp", "backward", "none", _dense_bytes(shape),
+                      world, shape, layer, site),
+        )
+
+    if isinstance(compressor, AutoencoderCompressor) or (
+        compressor.allreduce_compatible and compressor.learnable
+    ):
+        codes = [compressor.encode(p) for p in partials]
+        code_sum = _sum_tensors(codes)
+        code_bytes = int(np.prod(code_sum.shape)) * BYTES_FP16
+        tracker.record(
+            CommEvent("all_reduce", "tp", "forward", compressor.name, code_bytes,
+                      world, shape, layer, site)
+        )
+        out = compressor.decode(code_sum)
+        return _with_backward_event(
+            out, tracker,
+            CommEvent("all_reduce", "tp", "backward", compressor.name,
+                      compressor.backward_bytes(shape), world, shape, layer, site),
+        )
+
+    # All-gather path: each rank broadcasts its compressed message; every
+    # rank reconstructs and sums locally.
+    reconstructed = [compressor.apply(p) for p in partials]
+    out = _sum_tensors(reconstructed)
+    msg_bytes = compressor.compressed_bytes(shape)
+    tracker.record(
+        CommEvent("all_gather", "tp", "forward", compressor.name, msg_bytes,
+                  world, shape, layer, site)
+    )
+    return _with_backward_event(
+        out, tracker,
+        CommEvent("all_gather", "tp", "backward", compressor.name,
+                  compressor.backward_bytes(shape), world, shape, layer, site),
+    )
+
+
+def pipeline_transfer(
+    x: Tensor,
+    compressor: Compressor,
+    tracker: CommTracker,
+    *,
+    boundary: int,
+    layer: int | None = None,
+) -> Tensor:
+    """Send an activation across a pipeline-stage boundary.
+
+    Applies the compressor's differentiable round-trip (the receiving stage
+    sees the reconstruction) and logs the forward send plus the backward
+    gradient message.
+    """
+    shape = tuple(x.shape)
+    scheme = "none" if _is_identity(compressor) else compressor.name
+    fwd_bytes = compressor.compressed_bytes(shape)
+    bwd_bytes = compressor.backward_bytes(shape)
+    tracker.record(
+        CommEvent("send", "pp", "forward", scheme, fwd_bytes, 2, shape,
+                  layer, f"boundary{boundary}")
+    )
+    out = compressor.apply(x) if not _is_identity(compressor) else x
+    return _with_backward_event(
+        out, tracker,
+        CommEvent("send", "pp", "backward", scheme, bwd_bytes, 2, shape,
+                  layer, f"boundary{boundary}"),
+    )
+
+
+# ----------------------------------------------------------------------
+def _is_identity(compressor: Compressor) -> bool:
+    return compressor is None or compressor.name == "none"
+
+
+def _sum_tensors(tensors: list[Tensor]) -> Tensor:
+    out = tensors[0]
+    for t in tensors[1:]:
+        out = out + t
+    return out
+
+
+def _with_backward_event(x: Tensor, tracker: CommTracker, event: CommEvent) -> Tensor:
+    """Wrap ``x`` so that a gradient passing through logs ``event``."""
+
+    def backward(g):
+        tracker.record(event)
+        return (g,)
+
+    return Tensor._make(x.data, (x,), backward)

@@ -1,0 +1,73 @@
+"""Pipeline-parallel stage partitioning and the GPipe schedule description.
+
+Megatron's default layer assignment balances transformer layers across
+stages (§4.7: "every stage takes the same time in our scenario"); this
+module provides that partition plus the schedule bookkeeping the
+performance simulator uses to compute per-iteration time and bubble
+overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelinePartition", "pipeline_stages", "gpipe_iteration_slots"]
+
+
+@dataclass(frozen=True)
+class PipelinePartition:
+    """Contiguous assignment of ``num_layers`` layers to ``pp`` stages."""
+
+    num_layers: int
+    pp: int
+    stages: tuple[tuple[int, ...], ...]
+
+    @staticmethod
+    def balanced(num_layers: int, pp: int) -> "PipelinePartition":
+        """Balance layer counts; earlier stages get the remainder layers."""
+        if pp <= 0 or num_layers <= 0:
+            raise ValueError("num_layers and pp must be positive")
+        if pp > num_layers:
+            raise ValueError(f"cannot split {num_layers} layers into {pp} stages")
+        base, rem = divmod(num_layers, pp)
+        stages, start = [], 0
+        for s in range(pp):
+            count = base + (1 if s < rem else 0)
+            stages.append(tuple(range(start, start + count)))
+            start += count
+        return PipelinePartition(num_layers, pp, tuple(stages))
+
+    def stage_of(self, layer: int) -> int:
+        """Stage index hosting ``layer``."""
+        for s, layers in enumerate(self.stages):
+            if layer in layers:
+                return s
+        raise ValueError(f"layer {layer} not in partition of {self.num_layers}")
+
+    def boundaries(self) -> list[int]:
+        """Last layer index of each non-final stage (the PP cut points)."""
+        return [stage[-1] for stage in self.stages[:-1]]
+
+    def layers_of(self, stage: int) -> tuple[int, ...]:
+        return self.stages[stage]
+
+    @property
+    def num_boundaries(self) -> int:
+        return self.pp - 1
+
+
+def pipeline_stages(num_layers: int, pp: int) -> PipelinePartition:
+    """Convenience alias for :meth:`PipelinePartition.balanced`."""
+    return PipelinePartition.balanced(num_layers, pp)
+
+
+def gpipe_iteration_slots(num_microbatches: int, pp: int) -> int:
+    """Number of sequential stage-slots in one GPipe iteration.
+
+    A stage processes ``m`` microbatches; the pipeline drains after
+    ``m + p - 1`` slots (per direction). This is the (m-1)/n + 1 factor in
+    the paper's Eq. (3) when expressed per-microbatch.
+    """
+    if num_microbatches <= 0 or pp <= 0:
+        raise ValueError("num_microbatches and pp must be positive")
+    return num_microbatches + pp - 1

@@ -1,0 +1,240 @@
+"""Full model-parallel BERT: TP × PP with compression sites.
+
+This is the in-process analogue of the paper's patched Megatron-LM. A model
+is configured with a parallel layout (tp, pp), a compression scheme label
+from the notation table, and a placement policy. During the forward pass:
+
+- each transformer layer whose index is in the policy routes its two
+  tensor-parallel all-reduces through the layer's compressor instances;
+- each pipeline-stage boundary whose *receiving* layer is in the policy
+  compresses the activation (and its backward gradient) crossing the cut.
+
+All message sizes are logged to the model's :class:`CommTracker`, and AE
+compressor weights are registered as ordinary parameters so they train
+jointly with the model — and can be *dropped* when loading a pre-trained
+checkpoint for fine-tuning (the Table 8 workflow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression import CompressionPolicy, build_compressor
+from repro.compression.base import Compressor, NoCompressor
+from repro.nn.bert import BertForPreTraining
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.nn.transformer import TransformerConfig
+from repro.parallel.collectives import CommTracker, pipeline_transfer
+from repro.parallel.pipeline import PipelinePartition
+from repro.parallel.tensor_parallel import ParallelTransformerLayer
+from repro.tensor import Tensor, functional as F
+
+__all__ = [
+    "ModelParallelConfig",
+    "ModelParallelBertClassifier",
+    "ModelParallelBertPreTraining",
+]
+
+
+@dataclass
+class ModelParallelConfig:
+    """One experimental setting: model × layout × compression scheme."""
+
+    model: TransformerConfig
+    tp: int = 1
+    pp: int = 1
+    scheme: str = "w/o"
+    policy: CompressionPolicy | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.policy is None:
+            if self.scheme == "w/o":
+                self.policy = CompressionPolicy.none(self.model.num_layers)
+            else:
+                self.policy = CompressionPolicy.default(self.model.num_layers)
+        if self.policy.num_layers != self.model.num_layers:
+            raise ValueError("policy num_layers must match the model")
+        if self.pp > self.model.num_layers:
+            raise ValueError("pp cannot exceed the number of layers")
+        if self.model.num_heads % self.tp != 0:
+            raise ValueError("num_heads must be divisible by tp")
+
+
+class _ModelParallelBackbone(Module):
+    """Shared embedding + parallel encoder with compression plumbing."""
+
+    def __init__(self, config: ModelParallelConfig, rng: np.random.Generator):
+        super().__init__()
+        mc = config.model
+        self.config = config
+        self.tracker = CommTracker()
+        self.partition = PipelinePartition.balanced(mc.num_layers, config.pp)
+
+        self.token_embedding = Embedding(mc.vocab_size, mc.hidden, rng, mc.init_std)
+        self.position_embedding = Embedding(mc.max_seq_len, mc.hidden, rng, mc.init_std)
+        self.embed_ln = LayerNorm(mc.hidden)
+        self.embed_dropout = Dropout(mc.dropout, rng)
+        self.layers = ModuleList(
+            ParallelTransformerLayer(mc, config.tp, rng) for _ in range(mc.num_layers)
+        )
+
+        # Per-site compressor instances. Sparsification/quantization are
+        # stateless but AE holds learnable weights per site, so each site
+        # gets its own object (seeded distinctly for Random-K).
+        self._site_compressors: dict[str, Compressor] = {}
+        scheme = config.scheme
+        if scheme != "w/o":
+            for layer_idx in sorted(config.policy.layers):
+                if config.tp > 1:
+                    for site in ("attn", "mlp"):
+                        key = f"layer{layer_idx}.{site}"
+                        self._site_compressors[key] = build_compressor(
+                            scheme, mc.hidden, seed=config.seed * 1000 + layer_idx * 2 + (site == "mlp")
+                        )
+            for b, last_layer in enumerate(self.partition.boundaries()):
+                if config.policy.boundary_compressed(last_layer):
+                    key = f"boundary{b}"
+                    self._site_compressors[key] = build_compressor(
+                        scheme, mc.hidden, seed=config.seed * 1000 + 500 + b
+                    )
+        self._register_compressor_params()
+        self._identity = NoCompressor()
+
+    def _register_compressor_params(self) -> None:
+        for key, comp in sorted(self._site_compressors.items()):
+            for p in comp.parameters():
+                suffix = "encoder" if p is getattr(comp, "encoder", None) else "decoder"
+                self.add_parameter(f"compressor.{key}.{suffix}", p)
+
+    # ------------------------------------------------------------------
+    def site_compressor(self, key: str) -> Compressor:
+        return self._site_compressors.get(key, self._identity)
+
+    @property
+    def compressor_parameter_names(self) -> list[str]:
+        return [n for n, _ in self.named_parameters() if n.startswith("compressor.")]
+
+    def model_state_dict(self) -> dict[str, np.ndarray]:
+        """State dict *without* compressor parameters (Table 8: the AE can be
+        dropped after pre-training)."""
+        return {
+            n: a for n, a in self.state_dict().items() if not n.startswith("compressor.")
+        }
+
+    # ------------------------------------------------------------------
+    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        input_ids = np.asarray(input_ids)
+        b, s = input_ids.shape
+        mc = self.config.model
+        if s > mc.max_seq_len:
+            raise ValueError(f"sequence length {s} exceeds max {mc.max_seq_len}")
+        pos = np.arange(s)[None, :].repeat(b, axis=0)
+        x = self.token_embedding(input_ids) + self.position_embedding(pos)
+        x = self.embed_dropout(self.embed_ln(x))
+        mask4d = None
+        if attention_mask is not None:
+            mask4d = (np.asarray(attention_mask) == 0)[:, None, None, :]
+
+        boundaries = set(self.partition.boundaries())
+        boundary_idx = 0
+        for layer_idx, layer in enumerate(self.layers):
+            attn_c = self.site_compressor(f"layer{layer_idx}.attn")
+            mlp_c = self.site_compressor(f"layer{layer_idx}.mlp")
+            x = layer(
+                x,
+                self.tracker,
+                mask4d,
+                attn_compressor=attn_c,
+                mlp_compressor=mlp_c,
+                layer=layer_idx,
+            )
+            if layer_idx in boundaries:
+                comp = self.site_compressor(f"boundary{boundary_idx}")
+                x = pipeline_transfer(
+                    x, comp, self.tracker, boundary=boundary_idx, layer=layer_idx
+                )
+                boundary_idx += 1
+        return x
+
+
+class ModelParallelBertClassifier(Module):
+    """Model-parallel BERT with a classification/regression head (GLUE)."""
+
+    def __init__(self, config: ModelParallelConfig, regression: bool = False):
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.regression = regression
+        self.backbone = _ModelParallelBackbone(config, rng)
+        num_out = 1 if regression else config.model.num_classes
+        self.classifier = Linear(config.model.hidden, num_out, rng,
+                                 init_std=config.model.init_std)
+
+    @property
+    def tracker(self) -> CommTracker:
+        return self.backbone.tracker
+
+    def forward(self, input_ids, attention_mask=None) -> Tensor:
+        hidden = self.backbone(input_ids, attention_mask)
+        return self.classifier(hidden[:, 0, :])
+
+    def loss(self, input_ids, labels, attention_mask=None) -> Tensor:
+        logits = self.forward(input_ids, attention_mask)
+        if self.regression:
+            return F.mse_loss(logits.reshape(-1), np.asarray(labels, dtype=np.float32))
+        return F.cross_entropy(logits, np.asarray(labels))
+
+    def predict(self, input_ids, attention_mask=None) -> np.ndarray:
+        logits = self.forward(input_ids, attention_mask)
+        if self.regression:
+            return logits.data.reshape(-1)
+        return logits.data.argmax(axis=-1)
+
+    def load_backbone(self, state: dict[str, np.ndarray]) -> None:
+        """Load a pre-trained backbone state dict, ignoring AE/head params.
+
+        Mirrors the paper's Table 8 observation: "we only need to load the
+        parameters of the BERT model to do fine-tuning, and the parameters
+        of the AE can be ignored."
+        """
+        backbone_state = {
+            k: v for k, v in state.items() if not k.startswith("compressor.")
+        }
+        self.backbone.load_state_dict(backbone_state, strict=False)
+
+
+class ModelParallelBertPreTraining(Module):
+    """Model-parallel BERT with the masked-language-model head."""
+
+    IGNORE_INDEX = BertForPreTraining.IGNORE_INDEX
+
+    def __init__(self, config: ModelParallelConfig):
+        super().__init__()
+        rng = np.random.default_rng(config.seed)
+        self.config = config
+        self.backbone = _ModelParallelBackbone(config, rng)
+        mc = config.model
+        self.mlm_dense = Linear(mc.hidden, mc.hidden, rng, init_std=mc.init_std)
+        self.mlm_ln = LayerNorm(mc.hidden)
+        self.mlm_head = Linear(mc.hidden, mc.vocab_size, rng, init_std=mc.init_std)
+
+    @property
+    def tracker(self) -> CommTracker:
+        return self.backbone.tracker
+
+    def forward(self, input_ids, attention_mask=None) -> Tensor:
+        hidden = self.backbone(input_ids, attention_mask)
+        h = self.mlm_ln(F.gelu(self.mlm_dense(hidden)))
+        return self.mlm_head(h)
+
+    def loss(self, input_ids, mlm_labels, attention_mask=None) -> Tensor:
+        logits = self.forward(input_ids, attention_mask)
+        return F.cross_entropy(logits, np.asarray(mlm_labels), ignore_index=self.IGNORE_INDEX)
+
+    def backbone_state_dict(self) -> dict[str, np.ndarray]:
+        """Backbone weights without AE parameters, for fine-tuning handoff."""
+        return self.backbone.model_state_dict()

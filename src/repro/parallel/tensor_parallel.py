@@ -1,0 +1,320 @@
+"""Megatron-style tensor-parallel transformer layers (Shoeybi et al. 2019).
+
+The attention module's two GEMMs are split column-wise then row-wise, and the
+MLP identically: ``fc1``/``qkv`` are column-parallel (each rank owns a slice
+of the output features / heads), ``fc2``/``out-proj`` are row-parallel (each
+rank owns a slice of the input features and produces a *partial* full-width
+output). The partials are combined by the ``g`` all-reduce — the compression
+site this paper studies — while the conjugate ``f`` op accounts for the
+backward all-reduce at the layer input.
+
+Every class offers ``from_serial`` so tests can verify that the parallel
+computation equals the serial reference exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Compressor, NoCompressor
+from repro.nn.attention import MultiHeadAttention, attention_core
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module, Parameter
+from repro.nn.transformer import TransformerConfig, TransformerLayer
+from repro.parallel.collectives import CommTracker, tp_all_reduce, tp_broadcast
+from repro.tensor import Tensor, functional as F
+
+__all__ = [
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "ParallelAttention",
+    "ParallelMLP",
+    "ParallelTransformerLayer",
+]
+
+
+def _shard_columns(weight: np.ndarray, tp: int) -> list[np.ndarray]:
+    """Split ``(in, out)`` weight into ``tp`` column blocks ``(in, out/tp)``."""
+    if weight.shape[1] % tp != 0:
+        raise ValueError(f"out dim {weight.shape[1]} not divisible by tp={tp}")
+    return np.split(weight, tp, axis=1)
+
+
+def _shard_rows(weight: np.ndarray, tp: int) -> list[np.ndarray]:
+    """Split ``(in, out)`` weight into ``tp`` row blocks ``(in/tp, out)``."""
+    if weight.shape[0] % tp != 0:
+        raise ValueError(f"in dim {weight.shape[0]} not divisible by tp={tp}")
+    return np.split(weight, tp, axis=0)
+
+
+class ColumnParallelLinear(Module):
+    """Linear layer whose output features are sharded across ``tp`` ranks.
+
+    ``forward`` maps a replicated input to the list of per-rank output
+    shards (each ``(..., out/tp)``); no communication is required in the
+    forward pass.
+    """
+
+    def __init__(self, in_features: int, out_features: int, tp: int,
+                 rng: np.random.Generator, bias: bool = True, init_std: float = 0.02):
+        super().__init__()
+        if out_features % tp != 0:
+            raise ValueError(f"out_features={out_features} not divisible by tp={tp}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.tp = tp
+        full = rng.normal(0.0, init_std, size=(in_features, out_features)).astype(np.float32)
+        self._init_shards(full, np.zeros(out_features, dtype=np.float32) if bias else None)
+
+    def _init_shards(self, weight: np.ndarray, bias: np.ndarray | None) -> None:
+        self.weight_shards = []
+        self.bias_shards = []
+        for r, w in enumerate(_shard_columns(weight, self.tp)):
+            p = Parameter(w.copy())
+            self.add_parameter(f"weight_rank{r}", p)
+            self.weight_shards.append(p)
+        if bias is not None:
+            for r, b in enumerate(np.split(bias, self.tp)):
+                p = Parameter(b.copy())
+                self.add_parameter(f"bias_rank{r}", p)
+                self.bias_shards.append(p)
+
+    @classmethod
+    def from_serial(cls, serial: Linear, tp: int) -> "ColumnParallelLinear":
+        obj = cls.__new__(cls)
+        Module.__init__(obj)
+        obj.in_features = serial.in_features
+        obj.out_features = serial.out_features
+        obj.tp = tp
+        if serial.out_features % tp != 0:
+            raise ValueError(f"out_features={serial.out_features} not divisible by tp={tp}")
+        obj._init_shards(serial.weight.data, serial.bias.data if serial.bias is not None else None)
+        return obj
+
+    def forward(self, x: Tensor) -> list[Tensor]:
+        outs = []
+        for r in range(self.tp):
+            o = x @ self.weight_shards[r]
+            if self.bias_shards:
+                o = o + self.bias_shards[r]
+            outs.append(o)
+        return outs
+
+
+class RowParallelLinear(Module):
+    """Linear layer whose input features are sharded across ``tp`` ranks.
+
+    ``forward`` maps per-rank input shards (``(..., in/tp)``) to per-rank
+    *partial* full-width outputs; the caller must all-reduce them (the
+    compressible ``g`` site). The single bias is added after the reduce.
+    """
+
+    def __init__(self, in_features: int, out_features: int, tp: int,
+                 rng: np.random.Generator, bias: bool = True, init_std: float = 0.02):
+        super().__init__()
+        if in_features % tp != 0:
+            raise ValueError(f"in_features={in_features} not divisible by tp={tp}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.tp = tp
+        full = rng.normal(0.0, init_std, size=(in_features, out_features)).astype(np.float32)
+        self._init_shards(full, np.zeros(out_features, dtype=np.float32) if bias else None)
+
+    def _init_shards(self, weight: np.ndarray, bias: np.ndarray | None) -> None:
+        self.weight_shards = []
+        for r, w in enumerate(_shard_rows(weight, self.tp)):
+            p = Parameter(w.copy())
+            self.add_parameter(f"weight_rank{r}", p)
+            self.weight_shards.append(p)
+        self.bias = Parameter(bias.copy()) if bias is not None else None
+
+    @classmethod
+    def from_serial(cls, serial: Linear, tp: int) -> "RowParallelLinear":
+        obj = cls.__new__(cls)
+        Module.__init__(obj)
+        obj.in_features = serial.in_features
+        obj.out_features = serial.out_features
+        obj.tp = tp
+        if serial.in_features % tp != 0:
+            raise ValueError(f"in_features={serial.in_features} not divisible by tp={tp}")
+        obj._init_shards(serial.weight.data, serial.bias.data if serial.bias is not None else None)
+        return obj
+
+    def forward(self, x_shards: list[Tensor]) -> list[Tensor]:
+        if len(x_shards) != self.tp:
+            raise ValueError(f"expected {self.tp} input shards, got {len(x_shards)}")
+        return [x_shards[r] @ self.weight_shards[r] for r in range(self.tp)]
+
+
+class ParallelMLP(Module):
+    """Tensor-parallel transformer MLP: column-parallel fc1, row-parallel fc2."""
+
+    def __init__(self, hidden: int, ffn_hidden: int, tp: int, rng: np.random.Generator,
+                 init_std: float = 0.02):
+        super().__init__()
+        self.tp = tp
+        self.fc1 = ColumnParallelLinear(hidden, ffn_hidden, tp, rng, init_std=init_std)
+        self.fc2 = RowParallelLinear(ffn_hidden, hidden, tp, rng, init_std=init_std)
+
+    @classmethod
+    def from_serial(cls, fc1: Linear, fc2: Linear, tp: int) -> "ParallelMLP":
+        obj = cls.__new__(cls)
+        Module.__init__(obj)
+        obj.tp = tp
+        obj.fc1 = ColumnParallelLinear.from_serial(fc1, tp)
+        obj.fc2 = RowParallelLinear.from_serial(fc2, tp)
+        return obj
+
+    def forward(
+        self,
+        x: Tensor,
+        compressor: Compressor,
+        tracker: CommTracker,
+        *,
+        layer: int | None = None,
+    ) -> Tensor:
+        x = tp_broadcast(x, self.tp, tracker, layer=layer, site="mlp")
+        hidden_shards = [F.gelu(h) for h in self.fc1(x)]
+        partials = self.fc2(hidden_shards)
+        out = tp_all_reduce(partials, compressor, tracker, layer=layer, site="mlp")
+        if self.fc2.bias is not None:
+            out = out + self.fc2.bias
+        return out
+
+
+class ParallelAttention(Module):
+    """Tensor-parallel multi-head attention: heads sharded across ranks."""
+
+    def __init__(self, hidden: int, num_heads: int, tp: int, rng: np.random.Generator,
+                 dropout: float = 0.0, init_std: float = 0.02):
+        super().__init__()
+        if num_heads % tp != 0:
+            raise ValueError(f"num_heads={num_heads} not divisible by tp={tp}")
+        self.hidden = hidden
+        self.num_heads = num_heads
+        self.tp = tp
+        self.heads_per_rank = num_heads // tp
+        self.head_dim = hidden // num_heads
+        self.qkv = self._build_qkv_shards(
+            rng.normal(0.0, init_std, size=(hidden, 3 * hidden)).astype(np.float32),
+            np.zeros(3 * hidden, dtype=np.float32),
+        )
+        self.out = RowParallelLinear(hidden, hidden, tp, rng, init_std=init_std)
+        self.dropout = Dropout(dropout, rng)
+
+    def _build_qkv_shards(self, qkv_weight: np.ndarray, qkv_bias: np.ndarray):
+        """Shard the fused (in, 3h) QKV weight by head groups.
+
+        The serial layout is ``[Q | K | V]`` along the output axis; rank ``r``
+        needs its head block from each of the three sections.
+        """
+        h = self.hidden
+        slice_w = h // self.tp
+        shards_w, shards_b = [], []
+        for r in range(self.tp):
+            cols = np.concatenate(
+                [np.arange(sec * h + r * slice_w, sec * h + (r + 1) * slice_w) for sec in range(3)]
+            )
+            w = Parameter(qkv_weight[:, cols].copy())
+            b = Parameter(qkv_bias[cols].copy())
+            self.add_parameter(f"qkv_weight_rank{r}", w)
+            self.add_parameter(f"qkv_bias_rank{r}", b)
+            shards_w.append(w)
+            shards_b.append(b)
+        self._qkv_weights = shards_w
+        self._qkv_biases = shards_b
+        return shards_w
+
+    @classmethod
+    def from_serial(cls, serial: MultiHeadAttention, tp: int) -> "ParallelAttention":
+        obj = cls.__new__(cls)
+        Module.__init__(obj)
+        if serial.num_heads % tp != 0:
+            raise ValueError(f"num_heads={serial.num_heads} not divisible by tp={tp}")
+        obj.hidden = serial.hidden
+        obj.num_heads = serial.num_heads
+        obj.tp = tp
+        obj.heads_per_rank = serial.num_heads // tp
+        obj.head_dim = serial.head_dim
+        obj._build_qkv_shards(serial.qkv.weight.data, serial.qkv.bias.data)
+        obj.out = RowParallelLinear.from_serial(serial.out, tp)
+        obj.dropout = serial.dropout
+        return obj
+
+    def forward(
+        self,
+        x: Tensor,
+        compressor: Compressor,
+        tracker: CommTracker,
+        attention_mask: np.ndarray | None = None,
+        *,
+        layer: int | None = None,
+    ) -> Tensor:
+        x = tp_broadcast(x, self.tp, tracker, layer=layer, site="attn")
+        b, s, _ = x.shape
+        slice_w = self.hidden // self.tp
+        ctx_shards = []
+        for r in range(self.tp):
+            qkv = x @ self._qkv_weights[r] + self._qkv_biases[r]
+            q = self._split_heads(qkv[:, :, :slice_w], b, s)
+            k = self._split_heads(qkv[:, :, slice_w : 2 * slice_w], b, s)
+            v = self._split_heads(qkv[:, :, 2 * slice_w :], b, s)
+            ctx = attention_core(q, k, v, attention_mask)
+            ctx_shards.append(ctx.transpose(0, 2, 1, 3).reshape(b, s, slice_w))
+        partials = self.out(ctx_shards)
+        out = tp_all_reduce(partials, compressor, tracker, layer=layer, site="attn")
+        if self.out.bias is not None:
+            out = out + self.out.bias
+        return self.dropout(out)
+
+    def _split_heads(self, x: Tensor, b: int, s: int) -> Tensor:
+        return x.reshape(b, s, self.heads_per_rank, self.head_dim).transpose(0, 2, 1, 3)
+
+
+class ParallelTransformerLayer(Module):
+    """Tensor-parallel encoder block with compressible all-reduce sites.
+
+    Each layer has two ``g`` all-reduces (attention output, MLP output);
+    when the layer's policy says it is compressed, both sites use the
+    layer's compressor instances (separate per site because the AE weights
+    are learnable and site-specific).
+    """
+
+    def __init__(self, config: TransformerConfig, tp: int, rng: np.random.Generator):
+        super().__init__()
+        self.tp = tp
+        self.attn = ParallelAttention(config.hidden, config.num_heads, tp, rng,
+                                      dropout=config.dropout, init_std=config.init_std)
+        self.ln1 = LayerNorm(config.hidden)
+        self.mlp = ParallelMLP(config.hidden, config.ffn_hidden, tp, rng,
+                               init_std=config.init_std)
+        self.ln2 = LayerNorm(config.hidden)
+        self.dropout = Dropout(config.dropout, rng)
+
+    @classmethod
+    def from_serial(cls, serial: TransformerLayer, tp: int) -> "ParallelTransformerLayer":
+        obj = cls.__new__(cls)
+        Module.__init__(obj)
+        obj.tp = tp
+        obj.attn = ParallelAttention.from_serial(serial.attn, tp)
+        obj.ln1 = serial.ln1
+        obj.mlp = ParallelMLP.from_serial(serial.fc1, serial.fc2, tp)
+        obj.ln2 = serial.ln2
+        obj.dropout = serial.dropout
+        return obj
+
+    def forward(
+        self,
+        x: Tensor,
+        tracker: CommTracker,
+        attention_mask: np.ndarray | None = None,
+        *,
+        attn_compressor: Compressor | None = None,
+        mlp_compressor: Compressor | None = None,
+        layer: int | None = None,
+    ) -> Tensor:
+        attn_c = attn_compressor if attn_compressor is not None else NoCompressor()
+        mlp_c = mlp_compressor if mlp_compressor is not None else NoCompressor()
+        x = self.ln1(x + self.attn(x, attn_c, tracker, attention_mask, layer=layer))
+        h = self.mlp(x, mlp_c, tracker, layer=layer)
+        return self.ln2(x + self.dropout(h))

@@ -1,0 +1,133 @@
+"""Cluster topology and TP×PP rank layout.
+
+Mirrors the two testbeds of the paper plus the multi-node pre-training
+cluster:
+
+- ``p3_8xlarge()`` — AWS p3.8xlarge: 4×V100 with NVLink, 10 Gbps Ethernet
+  between instances.
+- ``local_pcie()`` — the paper's local machine: 4×V100 on one PCIe bridge.
+
+Rank placement follows Megatron's convention (Narayanan et al. 2021):
+tensor-parallel groups are packed *inside* a node (consecutive ranks) so TP
+traffic rides the fast intra-node link, and pipeline stages span nodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["LinkType", "ClusterTopology", "ParallelLayout"]
+
+
+class LinkType(enum.Enum):
+    """Interconnect classes with distinct bandwidth/latency regimes."""
+
+    NVLINK = "nvlink"
+    PCIE = "pcie"
+    ETHERNET = "ethernet"
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """A homogeneous cluster of ``num_nodes`` × ``gpus_per_node`` GPUs."""
+
+    num_nodes: int
+    gpus_per_node: int
+    intra_node_link: LinkType
+    inter_node_link: LinkType = LinkType.ETHERNET
+
+    def __post_init__(self):
+        if self.num_nodes <= 0 or self.gpus_per_node <= 0:
+            raise ValueError("node and GPU counts must be positive")
+
+    @property
+    def world_size(self) -> int:
+        return self.num_nodes * self.gpus_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting global ``rank``."""
+        self._check_rank(rank)
+        return rank // self.gpus_per_node
+
+    def link_between(self, rank_a: int, rank_b: int) -> LinkType:
+        """The link class connecting two ranks."""
+        if self.node_of(rank_a) == self.node_of(rank_b):
+            return self.intra_node_link
+        return self.inter_node_link
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range [0, {self.world_size})")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def p3_8xlarge(num_nodes: int = 1) -> "ClusterTopology":
+        """AWS p3.8xlarge instances: 4 V100s with NVLink, 10 Gbps between nodes."""
+        return ClusterTopology(num_nodes, 4, LinkType.NVLINK, LinkType.ETHERNET)
+
+    @staticmethod
+    def local_pcie() -> "ClusterTopology":
+        """The paper's local server: 4 V100s behind one PCIe bridge, no NVLink."""
+        return ClusterTopology(1, 4, LinkType.PCIE, LinkType.ETHERNET)
+
+
+@dataclass(frozen=True)
+class ParallelLayout:
+    """Assignment of a TP×PP grid onto a cluster.
+
+    Ranks are numbered so that the ``tp`` dimension is innermost
+    (consecutive ranks form a TP group), matching Megatron.
+    """
+
+    topology: ClusterTopology
+    tp: int
+    pp: int
+
+    def __post_init__(self):
+        if self.tp <= 0 or self.pp <= 0:
+            raise ValueError("tp and pp must be positive")
+        if self.tp * self.pp != self.topology.world_size:
+            raise ValueError(
+                f"tp*pp = {self.tp * self.pp} must equal world size "
+                f"{self.topology.world_size}"
+            )
+
+    def rank(self, pp_rank: int, tp_rank: int) -> int:
+        """Global rank of (pipeline stage, tensor rank)."""
+        if not 0 <= pp_rank < self.pp or not 0 <= tp_rank < self.tp:
+            raise ValueError(f"coords ({pp_rank},{tp_rank}) out of grid ({self.pp},{self.tp})")
+        return pp_rank * self.tp + tp_rank
+
+    def tp_group(self, pp_rank: int) -> list[int]:
+        """Global ranks of one pipeline stage's TP group."""
+        return [self.rank(pp_rank, t) for t in range(self.tp)]
+
+    def tp_link(self, pp_rank: int = 0) -> LinkType:
+        """Link class TP collectives of a stage travel over (worst link)."""
+        group = self.tp_group(pp_rank)
+        if len(group) == 1:
+            return self.topology.intra_node_link
+        links = {
+            self.topology.link_between(a, b)
+            for a in group
+            for b in group
+            if a < b
+        }
+        return _slowest(links)
+
+    def pp_link(self, stage: int) -> LinkType:
+        """Link class the boundary after ``stage`` travels over."""
+        if not 0 <= stage < self.pp - 1:
+            raise ValueError(f"boundary index {stage} out of range [0, {self.pp - 1})")
+        a = self.rank(stage, 0)
+        b = self.rank(stage + 1, 0)
+        return self.topology.link_between(a, b)
+
+
+_LINK_ORDER = [LinkType.NVLINK, LinkType.PCIE, LinkType.ETHERNET]
+
+
+def _slowest(links) -> LinkType:
+    """Pick the slowest link class of a set (collectives are bottlenecked)."""
+    return max(links, key=_LINK_ORDER.index)

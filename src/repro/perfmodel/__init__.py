@@ -1,0 +1,36 @@
+"""The paper's §4.7 analytical cost model.
+
+Implements, symbol-for-symbol, the equations of §4.7:
+
+- ``T = T_comp(96Bsh² + 16Bs²h) + T_comm(Bsh)``       (Eq. 1)
+- piecewise ``T_comm`` (constant below a threshold),
+- ``T_overhead = γ·Bsh`` for the AE encoder/decoder,
+- the single-layer speedup ``T / T_AE``              (Eq. 2)
+- the cluster-scaling speedup with pipeline terms    (Eq. 3)
+
+plus the fitting helpers that produce Fig. 5 (α, β/c/d, γ fit against
+"ground truth" — in this reproduction, the simulator) and the weak-scaling
+generator behind Table 10.
+"""
+
+from repro.perfmodel.model import (
+    PerfModelParams,
+    AnalyticalModel,
+    transformer_layer_flops,
+)
+from repro.perfmodel.fitting import fit_alpha, fit_comm_piecewise, fit_gamma, fit_from_simulator
+from repro.perfmodel.scaling import WeakScalingConfig, cluster_speedup, weak_scaling_table, MEGATRON_WEAK_SCALING
+
+__all__ = [
+    "PerfModelParams",
+    "AnalyticalModel",
+    "transformer_layer_flops",
+    "fit_alpha",
+    "fit_comm_piecewise",
+    "fit_gamma",
+    "fit_from_simulator",
+    "WeakScalingConfig",
+    "cluster_speedup",
+    "weak_scaling_table",
+    "MEGATRON_WEAK_SCALING",
+]

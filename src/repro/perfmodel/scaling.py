@@ -1,0 +1,96 @@
+"""Eq. (3) cluster scaling and the Table 10 weak-scaling sweep.
+
+Eq. (3)::
+
+            ((m−1)/n + 1) · L·T + (n−1) · B·s·h / w
+  speedup = ─────────────────────────────────────────
+            ((m−1)/n + 1) · L·T_AE + (n−1) · B·s·e / w
+
+with m microbatches, n nodes, L layers, per-layer times T / T_AE from the
+analytical model, and pipeline bandwidth w. As n grows with h, the
+speedup asymptotically approaches h/e instead of decaying to 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perfmodel.model import AnalyticalModel
+
+__all__ = ["WeakScalingConfig", "cluster_speedup", "weak_scaling_table", "MEGATRON_WEAK_SCALING"]
+
+
+@dataclass(frozen=True)
+class WeakScalingConfig:
+    """One weak-scaling row (Megatron paper Table 1 configs, as the paper)."""
+
+    hidden: int
+    num_layers: int
+    num_nodes: int
+    batch_size: int
+
+
+#: The paper's Table 10 rows follow Narayanan et al. 2021's Table 1.
+MEGATRON_WEAK_SCALING: tuple[WeakScalingConfig, ...] = (
+    WeakScalingConfig(6144, 40, 1, 1024),
+    WeakScalingConfig(8192, 48, 2, 1536),
+    WeakScalingConfig(10240, 60, 4, 1792),
+    WeakScalingConfig(12288, 80, 8, 2304),
+    WeakScalingConfig(16384, 96, 16, 2176),
+    WeakScalingConfig(20480, 105, 35, 2528),
+    WeakScalingConfig(25600, 128, 64, 3072),
+)
+
+
+def cluster_speedup(
+    model: AnalyticalModel,
+    hidden: int,
+    num_layers: int,
+    num_nodes: int,
+    micro_batch: int,
+    num_microbatches: int,
+    seq: int,
+    bandwidth_bytes_per_ms: float,
+) -> float:
+    """Eq. (3): end-to-end speedup of AE compression at cluster scale."""
+    if num_nodes < 1 or num_layers < 1 or num_microbatches < 1:
+        raise ValueError("nodes, layers and microbatches must be >= 1")
+    t = model.layer_time(micro_batch, seq, hidden)
+    t_ae = model.layer_time_ae(micro_batch, seq, hidden)
+    pipeline_factor = (num_microbatches - 1) / num_nodes + 1.0
+    p_dense = micro_batch * seq * hidden * 2 / bandwidth_bytes_per_ms
+    p_ae = micro_batch * seq * model.encoder_dim * 2 / bandwidth_bytes_per_ms
+    num = pipeline_factor * num_layers * t + (num_nodes - 1) * p_dense
+    den = pipeline_factor * num_layers * t_ae + (num_nodes - 1) * p_ae
+    return num / den
+
+
+def weak_scaling_table(
+    model: AnalyticalModel,
+    configs: tuple[WeakScalingConfig, ...] = MEGATRON_WEAK_SCALING,
+    micro_batch: int = 16,
+    seq: int = 2048,
+    bandwidth_gbps: float = 4.0,
+) -> list[dict]:
+    """Regenerate Table 10: speedup per weak-scaling configuration.
+
+    ``micro_batch`` follows the paper (16); microbatch count is
+    ``batch_size / micro_batch``. Bandwidth is the inter-node pipeline
+    bandwidth (the simulator's effective Ethernet p2p rate by default).
+    """
+    bandwidth_bytes_per_ms = bandwidth_gbps * 1e9 / 1e3
+    rows = []
+    for cfg in configs:
+        m = max(1, cfg.batch_size // micro_batch)
+        s = cluster_speedup(
+            model, cfg.hidden, cfg.num_layers, cfg.num_nodes,
+            micro_batch, m, seq, bandwidth_bytes_per_ms,
+        )
+        rows.append({
+            "hidden": cfg.hidden,
+            "layers": cfg.num_layers,
+            "nodes": cfg.num_nodes,
+            "batch": cfg.batch_size,
+            "speedup": s,
+        })
+    return rows

@@ -1,0 +1,48 @@
+"""Calibrated performance simulator for the paper's testbeds.
+
+The timing tables in the paper are compositions of four ingredients:
+
+1. GEMM/attention compute on V100s (fp16 tensor cores at realistic
+   efficiency),
+2. collective communication over NVLink / PCIe / 10 GbE with an α–β cost
+   model (plus the paper's §4.7 small-message constant),
+3. per-scheme encode/decode kernel overheads (including the pathological
+   Python ``random.sample`` cost that dominates the Random-K rows), and
+4. the GPipe pipeline schedule (bubble + stage-boundary sends).
+
+:mod:`repro.simulator.calibration` holds every fitted constant with the
+paper table it was fit against. :class:`IterationSimulator` composes the
+ingredients into the per-iteration totals and the Table 4/7-style
+breakdowns; :mod:`repro.simulator.pipeline_sim` produces per-boundary
+communication times (Table 9).
+"""
+
+from repro.simulator.hardware import GPUSpec, LinkSpec, V100, LINKS
+from repro.simulator.calibration import CALIBRATION, Calibration
+from repro.simulator.comm import allreduce_time, allgather_time, p2p_time
+from repro.simulator.kernels import encode_decode_time, gemm_time, EncodeDecodeCost
+from repro.simulator.iteration import (
+    IterationSimulator,
+    SimSetting,
+    IterationBreakdown,
+)
+from repro.simulator.pipeline_sim import stage_boundary_times
+
+__all__ = [
+    "GPUSpec",
+    "LinkSpec",
+    "V100",
+    "LINKS",
+    "CALIBRATION",
+    "Calibration",
+    "allreduce_time",
+    "allgather_time",
+    "p2p_time",
+    "encode_decode_time",
+    "gemm_time",
+    "EncodeDecodeCost",
+    "IterationSimulator",
+    "SimSetting",
+    "IterationBreakdown",
+    "stage_boundary_times",
+]

@@ -1,0 +1,274 @@
+"""Per-iteration timing composition (the engine behind Tables 2–4, 6–7, 11–14).
+
+One training iteration under TP × PP decomposes as:
+
+- per layer, per microbatch: forward GEMMs + elementwise kernels + two
+  forward ``g`` collectives (all-reduce, or the compressed variant);
+- backward: ``backward_ratio`` × forward compute + two dense ``f``
+  all-reduces (compression never shrinks these — the input-gradient
+  reduction is part of the layer math, not a message we encode);
+- encode/decode kernel overheads at every compressed site;
+- the GPipe schedule stretches per-stage work over ``m + pp − 1`` slots;
+- pipeline boundaries add per-microbatch sends gated by the slowest
+  boundary link.
+
+Column conventions follow Table 4's caption: the Forward column contains
+forward compute **plus** tensor enc/dec and the forward collectives; the
+Backward column contains backward compute plus the backward ``f``
+all-reduces (and the AE's extra backward GEMMs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compression import CompressionPolicy
+from repro.compression.notation import SchemeSpec, scheme_spec
+from repro.nn.transformer import TransformerConfig
+from repro.parallel.pipeline import PipelinePartition
+from repro.parallel.topology import ClusterTopology, ParallelLayout
+from repro.simulator.calibration import CALIBRATION, Calibration
+from repro.simulator.comm import (
+    allgather_time,
+    allreduce_multinode_time,
+    allreduce_time,
+    p2p_time,
+)
+from repro.simulator.kernels import (
+    EncodeDecodeCost,
+    elementwise_time,
+    encode_decode_time,
+    gemm_time,
+    layer_forward_flops,
+)
+
+__all__ = ["SimSetting", "IterationBreakdown", "IterationSimulator"]
+
+BYTES_FP16 = 2
+
+
+@dataclass
+class SimSetting:
+    """One simulated experimental setting."""
+
+    topology: ClusterTopology
+    tp: int
+    pp: int
+    micro_batch: int
+    seq: int
+    num_microbatches: int = 1
+    scheme: str = "w/o"
+    policy: CompressionPolicy | None = None
+    model: TransformerConfig = field(default_factory=TransformerConfig.bert_large)
+
+    def __post_init__(self):
+        if self.policy is None:
+            if self.scheme == "w/o":
+                self.policy = CompressionPolicy.none(self.model.num_layers)
+            else:
+                self.policy = CompressionPolicy.default(self.model.num_layers)
+        # Validates tp·pp == world size.
+        self.layout = ParallelLayout(self.topology, self.tp, self.pp)
+        self.partition = PipelinePartition.balanced(self.model.num_layers, self.pp)
+        if self.num_microbatches <= 0:
+            raise ValueError("num_microbatches must be positive")
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """Table-4-style per-iteration breakdown, all times in ms."""
+
+    forward_ms: float
+    backward_ms: float
+    optimizer_ms: float
+    pipeline_ms: float  # "Waiting & Pipeline Comm."
+    encode_ms: float  # "Tensor Enc."
+    decode_ms: float  # "Tensor Dec."
+    tensor_comm_ms: float  # forward g collectives ("Tensor Comm.")
+
+    @property
+    def total_ms(self) -> float:
+        return self.forward_ms + self.backward_ms + self.optimizer_ms + self.pipeline_ms
+
+
+class IterationSimulator:
+    """Compose an iteration's timing for one :class:`SimSetting`."""
+
+    def __init__(self, setting: SimSetting, cal: Calibration = CALIBRATION):
+        self.s = setting
+        self.cal = cal
+        self.spec: SchemeSpec = scheme_spec(setting.scheme)
+
+    # ------------------------------------------------------------------
+    # Per-layer ingredients
+    # ------------------------------------------------------------------
+    def _dense_bytes(self) -> int:
+        s = self.s
+        return s.micro_batch * s.seq * s.model.hidden * BYTES_FP16
+
+    def _compressed_bytes(self) -> int:
+        """Forward wire bytes of one compressed activation message."""
+        s = self.s
+        n = s.micro_batch * s.seq * s.model.hidden
+        if self.spec.family == "ae":
+            c = self.spec.code_dim(s.model.hidden)
+            return s.micro_batch * s.seq * c * BYTES_FP16
+        if self.spec.family in ("topk", "randomk"):
+            k = int(round(self.spec.fraction * n))
+            return k * (BYTES_FP16 + 4)
+        if self.spec.family == "quant":
+            groups = -(-n // 256)
+            return n * self.spec.bits // 8 + 2 * groups * BYTES_FP16
+        return n * BYTES_FP16
+
+    def _backward_boundary_bytes(self) -> int:
+        """Backward (gradient) bytes across a compressed PP boundary."""
+        if self.spec.family == "quant":
+            return self._dense_bytes()  # §3.3: backward stays dense fp16
+        return self._compressed_bytes()
+
+    def layer_forward_compute_ms(self) -> float:
+        s = self.s
+        flops = layer_forward_flops(s.micro_batch, s.seq, s.model.hidden) / s.tp
+        return gemm_time(flops, self.cal.gemm_tflops(s.tp))
+
+    def layer_elementwise_ms(self) -> float:
+        s = self.s
+        return elementwise_time(s.micro_batch, s.seq, s.model.hidden, s.tp, self.cal)
+
+    def site_cost(self) -> EncodeDecodeCost:
+        """Encode/decode kernel cost at one TP site (per microbatch)."""
+        s = self.s
+        mult = 1 if self.spec.family in ("none", "ae") else s.tp
+        return encode_decode_time(
+            self.spec, s.micro_batch, s.seq, s.model.hidden,
+            decode_multiplicity=mult, cal=self.cal,
+        )
+
+    def _tp_allreduce_ms(self, nbytes: int) -> float:
+        """One TP all-reduce, hierarchical when the group spans nodes."""
+        s = self.s
+        return allreduce_multinode_time(
+            nbytes, s.tp, s.topology.gpus_per_node,
+            s.topology.intra_node_link, s.topology.inter_node_link, self.cal,
+        )
+
+    def tp_forward_comm_ms(self, compressed: bool) -> float:
+        """One forward ``g`` collective (per site, per microbatch)."""
+        s = self.s
+        if s.tp <= 1:
+            return 0.0
+        if not compressed or self.spec.family == "none":
+            return self._tp_allreduce_ms(self._dense_bytes())
+        if self.spec.family == "ae":
+            return self._tp_allreduce_ms(self._compressed_bytes())
+        return allgather_time(self._compressed_bytes(), s.tp, s.layout.tp_link(0), self.cal)
+
+    def tp_backward_comm_ms(self) -> float:
+        """One backward ``f`` all-reduce — always the dense activation."""
+        if self.s.tp <= 1:
+            return 0.0
+        return self._tp_allreduce_ms(self._dense_bytes())
+
+    # ------------------------------------------------------------------
+    # Pipeline boundaries
+    # ------------------------------------------------------------------
+    def boundary_send_ms(self, boundary_index: int) -> tuple[float, float]:
+        """(forward, backward) send time of one boundary, per microbatch."""
+        s = self.s
+        link = s.layout.pp_link(boundary_index)
+        last_layer = s.partition.boundaries()[boundary_index]
+        compressed = (
+            self.spec.family != "none" and s.policy.boundary_compressed(last_layer)
+        )
+        if not compressed:
+            dense = p2p_time(self._dense_bytes(), link, self.cal)
+            return dense, dense
+        fwd = p2p_time(self._compressed_bytes(), link, self.cal)
+        bwd = p2p_time(self._backward_boundary_bytes(), link, self.cal)
+        if self.spec.family == "quant" and self.cal.quant_pipeline_dense_staging:
+            # Table 7 Q rows: the multi-tensor + dtype-conversion path costs
+            # ~2 dense-equivalent staging passes in each direction.
+            staging = (self.cal.quant_pipeline_staging_passes
+                       * p2p_time(self._dense_bytes(), link, self.cal))
+            fwd += staging
+            bwd += staging
+        return fwd, bwd
+
+    def boundary_site_cost(self) -> EncodeDecodeCost:
+        """Encode/decode kernel cost at one PP boundary (per microbatch)."""
+        s = self.s
+        return encode_decode_time(
+            self.spec, s.micro_batch, s.seq, s.model.hidden,
+            decode_multiplicity=1, cal=self.cal,
+        )
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def breakdown(self) -> IterationBreakdown:
+        s, cal = self.s, self.cal
+        m = s.num_microbatches
+        slots = m + s.pp - 1
+        compressed_scheme = self.spec.family != "none"
+
+        fwd_compute_stage = 0.0  # per microbatch, averaged stage
+        bwd_compute_stage = 0.0
+        fwd_comm_total = 0.0  # per iteration, all layers, all microbatches
+        bwd_comm_total = 0.0
+        enc_total = 0.0
+        dec_total = 0.0
+        ae_bwd_total = 0.0
+
+        layer_fwd = self.layer_forward_compute_ms()
+        layer_ew = self.layer_elementwise_ms()
+        site = self.site_cost()
+        L = s.model.num_layers
+
+        # GPU-side encode/decode kernels hide in pipeline stalls once
+        # several microbatches are in flight (see Calibration); the
+        # CPU-blocking Random-K sampler cannot.
+        overlapped = m > 1 and cal.overlap_encdec_with_pipeline
+        gpu_mult = 1 if overlapped else m
+        enc_mult = m if self.spec.family == "randomk" else gpu_mult
+
+        for layer in range(L):
+            layer_compressed = (
+                compressed_scheme and s.tp > 1 and s.policy.applies(layer)
+            )
+            fwd_comm_total += 2 * m * self.tp_forward_comm_ms(layer_compressed)
+            bwd_comm_total += 2 * m * self.tp_backward_comm_ms()
+            if layer_compressed:
+                enc_total += 2 * enc_mult * site.encode_ms
+                dec_total += 2 * gpu_mult * site.decode_ms
+                ae_bwd_total += 2 * gpu_mult * site.backward_ms
+        fwd_compute_stage = (layer_fwd + layer_ew) * (L / s.pp)
+        bwd_compute_stage = (cal.backward_ratio * layer_fwd + layer_ew) * (L / s.pp)
+
+        # Pipeline boundary sends + encode/decode at compressed boundaries.
+        pipeline_ms = 0.0
+        if s.pp > 1:
+            sends = [self.boundary_send_ms(b) for b in range(s.pp - 1)]
+            pipeline_ms = m * sum(f + b for f, b in sends) \
+                + (s.pp - 1) * cal.pipeline_overhead_ms
+            bcost = self.boundary_site_cost()
+            for b, last_layer in enumerate(s.partition.boundaries()):
+                if compressed_scheme and s.policy.boundary_compressed(last_layer):
+                    enc_total += enc_mult * bcost.encode_ms
+                    dec_total += gpu_mult * bcost.decode_ms
+
+        forward_ms = slots * fwd_compute_stage + fwd_comm_total + enc_total + dec_total
+        backward_ms = slots * bwd_compute_stage + bwd_comm_total + ae_bwd_total
+        return IterationBreakdown(
+            forward_ms=forward_ms,
+            backward_ms=backward_ms,
+            optimizer_ms=cal.optimizer_ms,
+            pipeline_ms=pipeline_ms,
+            encode_ms=enc_total,
+            decode_ms=dec_total,
+            tensor_comm_ms=fwd_comm_total,
+        )
+
+    def total_ms(self) -> float:
+        """Average iteration time in ms (the tables' headline number)."""
+        return self.breakdown().total_ms

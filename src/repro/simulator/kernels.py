@@ -1,0 +1,106 @@
+"""Compute-kernel cost models: transformer GEMMs and encode/decode overheads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.notation import SchemeSpec
+from repro.simulator.calibration import CALIBRATION, Calibration
+from repro.simulator.hardware import V100, GPUSpec
+
+__all__ = [
+    "gemm_time",
+    "layer_forward_flops",
+    "elementwise_time",
+    "EncodeDecodeCost",
+    "encode_decode_time",
+]
+
+
+def layer_forward_flops(batch: int, seq: int, hidden: int) -> float:
+    """Forward FLOPs of one transformer layer (Narayanan et al. 2021).
+
+    QKV + output projections (8·B·s·h²), attention scores+context
+    (4·B·s²·h), MLP (16·B·s·h²) → 24·B·s·h² + 4·B·s²·h.
+    """
+    return 24.0 * batch * seq * hidden**2 + 4.0 * batch * seq**2 * hidden
+
+
+def gemm_time(flops: float, tflops: float) -> float:
+    """Time (ms) to execute ``flops`` at an effective ``tflops`` rate."""
+    if flops <= 0:
+        return 0.0
+    return flops / (tflops * 1e12) * 1e3
+
+
+def elementwise_time(
+    batch: int, seq: int, hidden: int, tp: int,
+    cal: Calibration = CALIBRATION, gpu: GPUSpec = V100,
+) -> float:
+    """Per-layer per-direction elementwise kernel time (ms).
+
+    LayerNorm/GELU/softmax/residual/dropout are memory-bound: modeled as
+    ``elementwise_passes`` traversals of the (sharded) fp16 activation.
+    """
+    bytes_activation = batch * seq * hidden * 2 / tp
+    return cal.elementwise_passes * bytes_activation / (gpu.mem_bandwidth_gbps * 1e9) * 1e3
+
+
+@dataclass(frozen=True)
+class EncodeDecodeCost:
+    """Per-site, per-call encode/decode kernel times (ms)."""
+
+    encode_ms: float
+    decode_ms: float
+    #: extra backward-pass compute the scheme adds at this site (AE's
+    #: dW / dX GEMMs; ~0 for the other schemes).
+    backward_ms: float = 0.0
+
+
+def encode_decode_time(
+    spec: SchemeSpec,
+    batch: int,
+    seq: int,
+    hidden: int,
+    decode_multiplicity: int = 1,
+    cal: Calibration = CALIBRATION,
+    gpu: GPUSpec = V100,
+) -> EncodeDecodeCost:
+    """Encode/decode kernel cost for one compression site.
+
+    Parameters
+    ----------
+    spec:
+        Notation-table entry describing the scheme.
+    decode_multiplicity:
+        How many messages each rank decompresses (the all-gather fallback
+        makes every rank decode ``tp`` messages before the local sum).
+    """
+    n = float(batch * seq * hidden)
+    launch = cal.kernel_launch_ms
+    if spec.family == "none":
+        return EncodeDecodeCost(0.0, 0.0)
+    if spec.family == "ae":
+        c = spec.code_dim(hidden)
+        flops = 2.0 * batch * seq * hidden * c
+        enc = gemm_time(flops, cal.ae_gemm_efficiency_enc * gpu.fp16_peak_tflops)
+        dec = gemm_time(flops, cal.ae_gemm_efficiency_dec * gpu.fp16_peak_tflops)
+        # Backward re-runs both GEMMs for dX and both for dW.
+        return EncodeDecodeCost(enc + launch, dec + launch, backward_ms=2.0 * (enc + dec))
+    if spec.family == "topk":
+        k = spec.fraction * n
+        enc = (cal.topk_select_ns_per_elem * n + cal.topk_gather_ns_per_kept * k) * 1e-6
+        dec = cal.sparse_per_kept_ns * k * 1e-6 * decode_multiplicity
+        return EncodeDecodeCost(enc + launch, dec + launch * decode_multiplicity)
+    if spec.family == "randomk":
+        k = spec.fraction * n
+        enc = cal.randomk_sample_ns_per_kept * k * 1e-6
+        dec = cal.sparse_per_kept_ns * k * 1e-6 * decode_multiplicity
+        return EncodeDecodeCost(enc + launch, dec + launch * decode_multiplicity)
+    if spec.family == "quant":
+        # Dequantization of the gathered messages is fused with the local
+        # sum, so decode does not scale with the message count (Table 4 Q1).
+        enc = cal.quant_encode_ns_per_elem * n * 1e-6
+        dec = cal.quant_decode_ns_per_elem * n * 1e-6
+        return EncodeDecodeCost(enc + launch, dec + launch)
+    raise ValueError(f"unknown scheme family {spec.family!r}")

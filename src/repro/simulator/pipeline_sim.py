@@ -1,0 +1,22 @@
+"""Per-boundary pipeline communication times (Table 9)."""
+
+from __future__ import annotations
+
+from repro.simulator.iteration import IterationSimulator, SimSetting
+
+__all__ = ["stage_boundary_times"]
+
+
+def stage_boundary_times(setting: SimSetting) -> dict[str, float]:
+    """Average per-iteration communication time of each pipeline boundary.
+
+    Returns a mapping ``"s↔s+1" → ms`` summing the forward and backward
+    sends of all microbatches across that boundary — the quantity Table 9
+    reports per stage pair.
+    """
+    sim = IterationSimulator(setting)
+    out: dict[str, float] = {}
+    for b in range(setting.pp - 1):
+        fwd, bwd = sim.boundary_send_ms(b)
+        out[f"{b}<->{b + 1}"] = setting.num_microbatches * (fwd + bwd)
+    return out

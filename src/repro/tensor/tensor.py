@@ -1,0 +1,510 @@
+"""Reverse-mode autodiff Tensor.
+
+A :class:`Tensor` wraps a ``numpy.ndarray`` and records, for each produced
+tensor, a closure that propagates the output gradient to its parents.
+``Tensor.backward()`` runs a topological sort and applies the closures.
+
+Broadcasting is supported on elementwise ops; gradients are un-broadcast by
+summing over the broadcast axes (:func:`unbroadcast`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "unbroadcast"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Inside the context, ops produce plain result tensors with
+    ``requires_grad=False`` and record no backward closures.
+    """
+    global _GRAD_ENABLED
+    prev = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether ops currently record backward graphs."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it has ``shape``, undoing NumPy broadcasting.
+
+    Sums over leading axes that were added by broadcasting and over axes
+    whose original extent was 1.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended broadcast dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the target shape.
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=np.float32) -> np.ndarray:
+    if isinstance(value, np.ndarray):
+        if value.dtype == dtype:
+            return value
+        return value.astype(dtype)
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A differentiable multi-dimensional array.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload. Stored as ``float32`` unless an ndarray of a
+        different float dtype is given.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad`` for this
+        tensor during :meth:`backward`.
+    name:
+        Optional debug label carried through error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an op output wired into the graph (internal)."""
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.name = None
+        needs = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out.requires_grad = needs
+        if needs:
+            out._parents = tuple(parents)
+            out._backward = backward
+        else:
+            out._parents = ()
+            out._backward = None
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Accumulate ``grad`` into ``self.grad`` (internal)."""
+        if self.grad is None:
+            self.grad = grad.astype(self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the final objective w.r.t. this tensor. Defaults to
+            1 for scalar tensors.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            grad = np.broadcast_to(grad, self.data.shape).astype(self.data.dtype)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited and p.requires_grad:
+                    stack.append((p, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad
+                node._accumulate(g)
+                continue
+            node._backward_dispatch(g, grads)
+
+    def _backward_dispatch(self, g: np.ndarray, grads: dict[int, np.ndarray]) -> None:
+        """Run this node's backward closure, routing parent grads (internal).
+
+        The closure returns one gradient per parent (or ``None`` for parents
+        that do not require grad).
+        """
+        parent_grads = self._backward(g)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        for p, pg in zip(self._parents, parent_grads):
+            if pg is None or not p.requires_grad:
+                continue
+            pid = id(p)
+            if p._backward is None and not p._parents:
+                # Leaf tensor: accumulate directly so grads persist.
+                p._accumulate(pg)
+            elif pid in grads:
+                grads[pid] = grads[pid] + pg
+            else:
+                grads[pid] = pg
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data + other.data
+
+        def backward(g):
+            return (unbroadcast(g, self.data.shape), unbroadcast(g, other.data.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data - other.data
+
+        def backward(g):
+            return (unbroadcast(g, self.data.shape), unbroadcast(-g, other.data.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor._coerce(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data * other.data
+
+        def backward(g):
+            return (
+                unbroadcast(g * other.data, self.data.shape),
+                unbroadcast(g * self.data, other.data.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+        out_data = self.data / other.data
+
+        def backward(g):
+            return (
+                unbroadcast(g / other.data, self.data.shape),
+                unbroadcast(-g * self.data / (other.data**2), other.data.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            return (-g,)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data**exponent
+
+        def backward(g):
+            return (g * exponent * self.data ** (exponent - 1),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Matrix multiply
+    # ------------------------------------------------------------------
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor._coerce(other)
+        a, b = self.data, other.data
+        if a.ndim < 2 or b.ndim < 2:
+            raise ValueError("matmul requires operands with ndim >= 2")
+        out_data = a @ b
+
+        def backward(g):
+            ga = gb = None
+            if self.requires_grad:
+                ga = unbroadcast(g @ np.swapaxes(b, -1, -2), a.shape)
+            if other.requires_grad:
+                gb = unbroadcast(np.swapaxes(a, -1, -2) @ g, b.shape)
+            return (ga, gb)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Unary math
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            return (g * out_data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(g):
+            return (g / self.data,)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            return (g * (1.0 - out_data**2),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(g):
+            return (g * 0.5 / out_data,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        def backward(g):
+            return (g * np.sign(self.data),)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def maximum(self, other) -> "Tensor":
+        """Elementwise maximum; at ties the gradient goes to ``self``."""
+        other = Tensor._coerce(other)
+        mask = self.data >= other.data
+        out_data = np.where(mask, self.data, other.data)
+
+        def backward(g):
+            return (
+                unbroadcast(g * mask, self.data.shape),
+                unbroadcast(g * ~mask, other.data.shape),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            if axis is None:
+                return (np.broadcast_to(g, self.data.shape).copy(),)
+            g2 = g
+            if not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g2 = np.expand_dims(g2, ax)
+            return (np.broadcast_to(g2, self.data.shape).copy(),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            n = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            n = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        """Max over one axis; gradient flows to the (first) argmax entries."""
+        idx = np.argmax(self.data, axis=axis)
+        out_data = np.max(self.data, axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            grad = np.zeros_like(self.data)
+            g2 = g if keepdims else np.expand_dims(g, axis)
+            onehot = np.expand_dims(idx, axis) == np.arange(self.data.shape[axis]).reshape(
+                [-1 if i == axis % self.data.ndim else 1 for i in range(self.data.ndim)]
+            )
+            grad += g2 * onehot
+            return (grad,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        in_shape = self.data.shape
+
+        def backward(g):
+            return (g.reshape(in_shape),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inv = np.argsort(axes)
+
+        def backward(g):
+            return (g.transpose(inv),)
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        def backward(g):
+            return (g.swapaxes(a, b),)
+
+        return Tensor._make(self.data.swapaxes(a, b), (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+
+        def backward(g):
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, key, g)
+            return (grad,)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Comparison helpers (no grad)
+    # ------------------------------------------------------------------
+    def __gt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other):
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+
+def tensor(data, requires_grad: bool = False, name: str | None = None) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad, name=name)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient splitting."""
+    tensors = list(tensors)
+    datas = [t.data for t in tensors]
+    out_data = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        return tuple(
+            np.take(g, np.arange(offsets[i], offsets[i + 1]), axis=axis) for i in range(len(sizes))
+        )
+
+    return Tensor._make(out_data, tensors, backward)
+
+
+def split(t: Tensor, sections: int, axis: int = 0) -> list[Tensor]:
+    """Split ``t`` into ``sections`` equal parts along ``axis``."""
+    if t.shape[axis] % sections != 0:
+        raise ValueError(f"axis {axis} of size {t.shape[axis]} not divisible by {sections}")
+    step = t.shape[axis] // sections
+    outs = []
+    for i in range(sections):
+        idx = [slice(None)] * t.ndim
+        idx[axis] = slice(i * step, (i + 1) * step)
+        outs.append(t[tuple(idx)])
+    return outs

@@ -1,0 +1,18 @@
+"""Training loops: GLUE fine-tuning and MLM pre-training."""
+
+from repro.training.trainer import TrainConfig, FineTuneTrainer, evaluate_task
+from repro.training.pretrain import PretrainConfig, run_pretraining
+from repro.training.finetune import FinetuneResult, finetune_on_task
+from repro.training.checkpoint import save_checkpoint, load_checkpoint
+
+__all__ = [
+    "TrainConfig",
+    "FineTuneTrainer",
+    "evaluate_task",
+    "PretrainConfig",
+    "run_pretraining",
+    "FinetuneResult",
+    "finetune_on_task",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,21 @@
+"""Checkpoint serialization to .npz."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(state: dict[str, np.ndarray], path: str) -> None:
+    """Write a state dict to ``path`` (npz). Dotted names are preserved."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_checkpoint(path: str) -> dict[str, np.ndarray]:
+    """Load a state dict written by :func:`save_checkpoint`."""
+    with np.load(path) as data:
+        return {k: data[k].copy() for k in data.files}

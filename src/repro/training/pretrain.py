@@ -1,0 +1,57 @@
+"""Masked-language-model pre-training loop (§4.4's workload)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.pretraining import MLMCorpus
+from repro.optim import Adam, WarmupLinearLR
+
+__all__ = ["PretrainConfig", "run_pretraining"]
+
+
+@dataclass
+class PretrainConfig:
+    """Hyper-parameters for one MLM pre-training run."""
+
+    steps: int = 300
+    batch_size: int = 32
+    lr: float = 1e-3
+    warmup_frac: float = 0.1
+    max_grad_norm: float = 1.0
+    micro_batches: int = 1  # gradient accumulation (global batch = bs × mb)
+
+
+def run_pretraining(model, corpus: MLMCorpus, config: PretrainConfig) -> list[float]:
+    """Pre-train ``model`` (an MLM-headed BERT) on ``corpus``.
+
+    ``micro_batches > 1`` performs gradient accumulation, the numerics of
+    the paper's micro-batch-128 / global-batch-1024 pipeline setting.
+    Returns the per-step loss history.
+    """
+    optimizer = Adam(model.parameters(), lr=config.lr)
+    schedule = WarmupLinearLR(
+        optimizer,
+        warmup_steps=max(1, int(config.warmup_frac * config.steps)),
+        total_steps=config.steps,
+    )
+    history: list[float] = []
+    model.train()
+    for _ in range(config.steps):
+        optimizer.zero_grad()
+        step_loss = 0.0
+        for _ in range(config.micro_batches):
+            batch = corpus.batch(config.batch_size)
+            loss = model.loss(batch.input_ids, batch.labels, batch.attention_mask)
+            if config.micro_batches > 1:
+                loss = loss * (1.0 / config.micro_batches)
+            loss.backward()
+            step_loss += loss.item()
+        if config.max_grad_norm:
+            optimizer.clip_grad_norm(config.max_grad_norm)
+        optimizer.step()
+        schedule.step()
+        history.append(step_loss)
+    return history

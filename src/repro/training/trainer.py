@@ -1,0 +1,82 @@
+"""Fine-tuning trainer and task evaluation.
+
+Works with any model exposing the ``loss(input_ids, labels, attention_mask)``
+/ ``predict(input_ids, attention_mask)`` protocol — both the serial
+:class:`~repro.nn.BertForSequenceClassification` and the model-parallel
+:class:`~repro.parallel.ModelParallelBertClassifier` qualify, so the same
+trainer drives baseline and compressed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.loaders import batch_iter
+from repro.data.metrics import METRICS
+from repro.data.tasks import GlueDataset
+from repro.optim import Adam, WarmupLinearLR
+from repro.tensor import no_grad
+
+__all__ = ["TrainConfig", "FineTuneTrainer", "evaluate_task"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for one fine-tuning run."""
+
+    lr: float = 1e-3
+    epochs: int = 4
+    batch_size: int = 32
+    warmup_frac: float = 0.1
+    max_grad_norm: float = 1.0
+    seed: int = 0
+
+
+class FineTuneTrainer:
+    """Adam + linear-warmup trainer over a materialized dataset."""
+
+    def __init__(self, model, config: TrainConfig):
+        self.model = model
+        self.config = config
+        self.optimizer = Adam(model.parameters(), lr=config.lr)
+        self.history: list[float] = []
+
+    def train(self, dataset: GlueDataset) -> list[float]:
+        """Run the configured number of epochs; returns per-step losses."""
+        cfg = self.config
+        steps_per_epoch = max(1, int(np.ceil(len(dataset) / cfg.batch_size)))
+        total_steps = steps_per_epoch * cfg.epochs
+        schedule = WarmupLinearLR(
+            self.optimizer,
+            warmup_steps=max(1, int(cfg.warmup_frac * total_steps)),
+            total_steps=total_steps,
+        )
+        rng = np.random.default_rng(cfg.seed)
+        self.model.train()
+        for _ in range(cfg.epochs):
+            for batch in batch_iter(dataset, cfg.batch_size, rng=rng):
+                self.optimizer.zero_grad()
+                loss = self.model.loss(batch.input_ids, batch.labels, batch.attention_mask)
+                loss.backward()
+                if cfg.max_grad_norm:
+                    self.optimizer.clip_grad_norm(cfg.max_grad_norm)
+                self.optimizer.step()
+                schedule.step()
+                self.history.append(loss.item())
+        return self.history
+
+
+def evaluate_task(model, dataset: GlueDataset, batch_size: int = 64) -> float:
+    """Compute the dataset's task metric (×100, GLUE convention)."""
+    metric_fn = METRICS[dataset.spec.metric]
+    preds, labels = [], []
+    model.eval()
+    with no_grad():
+        for batch in batch_iter(dataset, batch_size):
+            preds.append(model.predict(batch.input_ids, batch.attention_mask))
+            labels.append(batch.labels)
+    model.train()
+    score = metric_fn(np.concatenate(preds), np.concatenate(labels))
+    return 100.0 * score

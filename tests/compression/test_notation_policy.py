@@ -1,0 +1,145 @@
+"""Tests for the notation table (Table 1) and compression policy (§4.5)."""
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    AutoencoderCompressor,
+    CompressionPolicy,
+    NoCompressor,
+    QuantizationCompressor,
+    RandomKCompressor,
+    SCHEME_LABELS,
+    TopKCompressor,
+    build_compressor,
+    scheme_spec,
+)
+
+H = 1024  # BERT-Large hidden size, the notation table's reference
+
+
+class TestNotation:
+    def test_all_paper_labels_present(self):
+        expected = {"w/o", "A1", "A2", "T1", "T2", "T3", "T4", "R1", "R2", "R3", "R4",
+                    "Q1", "Q2", "Q3"}
+        assert set(SCHEME_LABELS) == expected
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            scheme_spec("Z9")
+
+    def test_ae_code_dims_at_bert_large(self):
+        a1 = build_compressor("A1", H)
+        a2 = build_compressor("A2", H)
+        assert isinstance(a1, AutoencoderCompressor) and a1.code_dim == 50
+        assert isinstance(a2, AutoencoderCompressor) and a2.code_dim == 100
+
+    def test_comm_cost_matching_t1_a1(self):
+        """T1 must put the same bytes on the wire as A1 (paper definition)."""
+        shape = (32, 512, H)
+        a1 = build_compressor("A1", H)
+        t1 = build_compressor("T1", H)
+        ratio = t1.compressed_bytes(shape) / a1.compressed_bytes(shape)
+        assert ratio == pytest.approx(1.0, rel=0.02)
+
+    def test_comm_cost_matching_t2_a2(self):
+        shape = (8, 128, H)
+        a2 = build_compressor("A2", H)
+        t2 = build_compressor("T2", H)
+        assert t2.compressed_bytes(shape) == pytest.approx(a2.compressed_bytes(shape), rel=0.02)
+
+    def test_ratio_matching_t3_keeps_same_elements_as_a1_code(self):
+        """T3 keeps n·c/h elements — the paper's 'same compression ratio'."""
+        t3 = scheme_spec("T3")
+        assert t3.fraction == pytest.approx(50 / 1024)
+        t4 = scheme_spec("T4")
+        assert t4.fraction == pytest.approx(100 / 1024)
+
+    def test_t3_heavier_than_t1(self):
+        """Ratio-matched Top-K transmits 3x the bytes of cost-matched Top-K."""
+        shape = (4, 16, H)
+        t1 = build_compressor("T1", H)
+        t3 = build_compressor("T3", H)
+        assert t3.compressed_bytes(shape) == pytest.approx(3 * t1.compressed_bytes(shape), rel=0.05)
+
+    def test_random_variants_mirror_topk(self):
+        for t, r in [("T1", "R1"), ("T2", "R2"), ("T3", "R3"), ("T4", "R4")]:
+            assert scheme_spec(t).fraction == scheme_spec(r).fraction
+            assert isinstance(build_compressor(r, H), RandomKCompressor)
+
+    def test_quant_bits(self):
+        for label, bits in [("Q1", 2), ("Q2", 4), ("Q3", 8)]:
+            c = build_compressor(label, H)
+            assert isinstance(c, QuantizationCompressor) and c.bits == bits
+
+    def test_wo_is_identity(self):
+        assert isinstance(build_compressor("w/o", H), NoCompressor)
+
+    def test_scaled_down_hidden_preserves_fractions(self):
+        """For small accuracy models, code fraction (not absolute dim) is kept."""
+        ae = build_compressor("A2", 64)
+        assert isinstance(ae, AutoencoderCompressor)
+        assert ae.code_dim == pytest.approx(round(64 * 100 / 1024))
+
+    def test_code_dim_floor(self):
+        ae = build_compressor("A1", 16)
+        assert ae.code_dim >= 2
+
+
+class TestPolicy:
+    def test_default_is_last_half(self):
+        p = CompressionPolicy.default(24)
+        assert p.layers == frozenset(range(12, 24))
+        assert p.num_compressed == 12
+
+    def test_last_k(self):
+        p = CompressionPolicy.last_k(24, 8)
+        assert min(p.layers) == 16 and max(p.layers) == 23
+
+    def test_first_k(self):
+        p = CompressionPolicy.first_k(24, 4)
+        assert p.layers == frozenset(range(4))
+
+    def test_window(self):
+        p = CompressionPolicy.window(24, 6, 8)
+        assert p.layers == frozenset(range(6, 14))
+
+    def test_window_clipped_at_end(self):
+        p = CompressionPolicy.window(24, 20, 8)
+        assert max(p.layers) == 23
+
+    def test_none_and_all(self):
+        assert CompressionPolicy.none(10).num_compressed == 0
+        assert CompressionPolicy.all(10).num_compressed == 10
+
+    def test_applies(self):
+        p = CompressionPolicy.last_k(24, 12)
+        assert not p.applies(11)
+        assert p.applies(12)
+
+    def test_boundary_semantics_table9(self):
+        """PP=4 on 24 layers: boundaries after layers 5, 11, 17.
+
+        With last-12 policy, stage0→1 (after layer 5) is NOT compressed but
+        1→2 and 2→3 are — exactly the Table 9 pattern.
+        """
+        p = CompressionPolicy.last_k(24, 12)
+        assert not p.boundary_compressed(5)
+        assert p.boundary_compressed(11)
+        assert p.boundary_compressed(17)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionPolicy(4, frozenset({5}))
+
+    def test_nonpositive_layers_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionPolicy(0)
+
+    def test_fraction(self):
+        assert CompressionPolicy.last_k(24, 12).fraction() == 0.5
+
+    def test_immutability(self):
+        p = CompressionPolicy.default(24)
+        with pytest.raises(Exception):
+            p.num_layers = 10

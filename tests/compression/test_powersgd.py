@@ -1,0 +1,102 @@
+"""Tests for the PowerSGD baseline — the scheme the paper excludes."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import collect_gradient_and_activation
+from repro.compression import PowerSGDCompressor
+from repro.compression.powersgd import orthonormalize
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(0)
+
+
+class TestOrthonormalize:
+    def test_columns_orthonormal(self):
+        m = orthonormalize(RNG.normal(size=(20, 5)).astype(np.float32))
+        gram = m.T @ m
+        np.testing.assert_allclose(gram, np.eye(5), atol=1e-4)
+
+    def test_handles_degenerate_columns(self):
+        mat = np.ones((10, 3), dtype=np.float32)  # rank 1
+        out = orthonormalize(mat)
+        assert np.isfinite(out).all()
+
+
+class TestPowerSGD:
+    def test_exact_on_lowrank_matrix(self):
+        """Rank-r input is reconstructed (near-)exactly at rank r."""
+        u = RNG.normal(size=(40, 3)).astype(np.float32)
+        v = RNG.normal(size=(32, 3)).astype(np.float32)
+        m = u @ v.T
+        c = PowerSGDCompressor(rank=3, warm_start=False)
+        # a couple of power iterations refine the subspace
+        for _ in range(3):
+            out = c.roundtrip(m)
+        c2 = PowerSGDCompressor(rank=3, warm_start=True)
+        for _ in range(3):
+            out = c2.roundtrip(m)
+        err = np.linalg.norm(out - m) / np.linalg.norm(m)
+        assert err < 0.05
+
+    def test_poor_on_fullrank_matrix(self):
+        m = RNG.normal(size=(64, 64)).astype(np.float32)
+        c = PowerSGDCompressor(rank=4)
+        assert c.reconstruction_error(m) > 0.6
+
+    def test_wire_bytes(self):
+        c = PowerSGDCompressor(rank=4)
+        x = RNG.normal(size=(8, 16, 32)).astype(np.float32)
+        msg = c.compress(x)
+        assert msg.wire_bytes == (8 * 16 * 4 + 32 * 4) * 2
+        assert msg.wire_bytes == c.compressed_bytes(x.shape)
+
+    def test_roundtrip_shape(self):
+        c = PowerSGDCompressor(rank=2)
+        x = RNG.normal(size=(4, 6, 8)).astype(np.float32)
+        assert c.roundtrip(x).shape == x.shape
+
+    def test_warm_start_improves_over_iterations(self):
+        u = RNG.normal(size=(40, 2)).astype(np.float32)
+        v = RNG.normal(size=(24, 2)).astype(np.float32)
+        m = u @ v.T
+        c = PowerSGDCompressor(rank=2, warm_start=True)
+        first = np.linalg.norm(c.roundtrip(m) - m)
+        for _ in range(4):
+            last = np.linalg.norm(c.roundtrip(m) - m)
+        assert last <= first
+
+    def test_apply_straight_through(self):
+        c = PowerSGDCompressor(rank=2)
+        x = Tensor(RNG.normal(size=(4, 8)).astype(np.float32), requires_grad=True)
+        c.apply(x).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((4, 8)))
+
+    def test_rank_validation(self):
+        with pytest.raises(ValueError):
+            PowerSGDCompressor(0)
+
+    def test_rank_clamped_to_matrix(self):
+        c = PowerSGDCompressor(rank=100)
+        x = RNG.normal(size=(6, 4)).astype(np.float32)
+        msg = c.compress(x)
+        assert msg.meta["rank"] <= 4
+
+
+class TestPaperExclusionClaim:
+    def test_gradients_compress_well_activations_dont(self):
+        """The §3.1 claim, quantified: at equal rank, PowerSGD reconstructs a
+        weight gradient far better than an activation matrix."""
+        grad, act = collect_gradient_and_activation(batch=8, seq=16, seed=0)
+        c = PowerSGDCompressor(rank=4, warm_start=False, seed=0)
+        grad_err = min(
+            np.linalg.norm(c.roundtrip(grad) - grad) / np.linalg.norm(grad)
+            for _ in range(3)
+        )
+        c2 = PowerSGDCompressor(rank=4, warm_start=False, seed=0)
+        act_err = min(
+            np.linalg.norm(c2.roundtrip(act) - act) / np.linalg.norm(act)
+            for _ in range(3)
+        )
+        assert grad_err < 0.45
+        assert act_err > grad_err + 0.25

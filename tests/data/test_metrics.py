@@ -1,0 +1,95 @@
+"""Tests for GLUE metrics against scipy references where available."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.data.metrics import (
+    METRICS,
+    accuracy,
+    f1_binary,
+    matthews_corrcoef,
+    pearson_corr,
+    spearman_corr,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_perfect(self):
+        assert accuracy(np.arange(5), np.arange(5)) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestF1:
+    def test_known_value(self):
+        preds = np.array([1, 1, 0, 1, 0])
+        labels = np.array([1, 0, 0, 1, 1])
+        # tp=2, fp=1, fn=1 → p=2/3, r=2/3 → f1=2/3
+        assert f1_binary(preds, labels) == pytest.approx(2 / 3)
+
+    def test_no_true_positives(self):
+        assert f1_binary(np.zeros(4), np.ones(4)) == 0.0
+
+    def test_all_correct(self):
+        assert f1_binary(np.array([1, 0, 1]), np.array([1, 0, 1])) == 1.0
+
+
+class TestMatthews:
+    def test_against_manual(self):
+        preds = np.array([1, 1, 0, 0, 1, 0, 1, 0])
+        labels = np.array([1, 0, 0, 1, 1, 0, 1, 1])
+        tp, tn, fp, fn = 3.0, 2.0, 1.0, 2.0
+        expected = (tp * tn - fp * fn) / np.sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+        assert matthews_corrcoef(preds, labels) == pytest.approx(expected)
+
+    def test_collapsed_predictions_give_zero(self):
+        """All-one-class predictions → MCC 0, as in the paper's Table 5 zeros."""
+        labels = RNG.integers(0, 2, size=50)
+        assert matthews_corrcoef(np.ones(50), labels) == 0.0
+        assert matthews_corrcoef(np.zeros(50), labels) == 0.0
+
+    def test_perfect_and_inverse(self):
+        labels = np.array([0, 1, 0, 1, 1, 0])
+        assert matthews_corrcoef(labels, labels) == pytest.approx(1.0)
+        assert matthews_corrcoef(1 - labels, labels) == pytest.approx(-1.0)
+
+
+class TestCorrelations:
+    def test_spearman_matches_scipy(self):
+        a = RNG.normal(size=40)
+        b = 0.5 * a + RNG.normal(size=40)
+        ours = spearman_corr(a, b)
+        ref = stats.spearmanr(a, b).statistic
+        assert ours == pytest.approx(ref, abs=1e-10)
+
+    def test_spearman_with_ties_matches_scipy(self):
+        a = np.array([1.0, 2.0, 2.0, 3.0, 3.0, 3.0, 4.0])
+        b = np.array([2.0, 1.0, 3.0, 3.0, 5.0, 4.0, 6.0])
+        assert spearman_corr(a, b) == pytest.approx(stats.spearmanr(a, b).statistic, abs=1e-10)
+
+    def test_spearman_monotonic_is_one(self):
+        a = RNG.normal(size=20)
+        assert spearman_corr(a, np.exp(a)) == pytest.approx(1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert spearman_corr(np.ones(10), RNG.normal(size=10)) == 0.0
+        assert pearson_corr(np.ones(10), RNG.normal(size=10)) == 0.0
+
+    def test_pearson_matches_numpy(self):
+        a, b = RNG.normal(size=30), RNG.normal(size=30)
+        assert pearson_corr(a, b) == pytest.approx(np.corrcoef(a, b)[0, 1])
+
+    def test_metrics_registry(self):
+        assert set(METRICS) == {"accuracy", "f1", "matthews", "spearman"}

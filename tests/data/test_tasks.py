@@ -1,0 +1,229 @@
+"""Tests for the synthetic GLUE suite, topic model, loaders and MLM corpus."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GLUE_TASKS,
+    Batch,
+    MLMCorpus,
+    TopicModel,
+    Vocab,
+    batch_iter,
+    glue_score,
+    make_task,
+    mask_tokens,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestVocab:
+    def test_specials_distinct(self):
+        v = Vocab()
+        specials = [v.PAD, v.CLS, v.SEP, v.MASK, v.UNK]
+        assert len(set(specials)) == 5
+        assert all(v.is_special(s) for s in specials)
+
+    def test_content_range(self):
+        v = Vocab(64)
+        assert list(v.content_range())[0] == v.content_start
+        assert v.num_content == 64 - v.content_start
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            Vocab(8)
+
+
+class TestTopicModel:
+    def test_partition_covers_content(self):
+        tm = TopicModel(num_topics=8)
+        all_tokens = np.concatenate(tm.topic_tokens)
+        assert sorted(all_tokens) == list(tm.vocab.content_range())
+
+    def test_sentence_respects_purity(self):
+        tm = TopicModel(num_topics=8, purity=1.0)
+        s = tm.sample_sentence(2, 200, np.random.default_rng(0))
+        assert set(s).issubset(set(tm.topic_tokens[2]))
+
+    def test_ring_distance(self):
+        tm = TopicModel(num_topics=8)
+        assert tm.ring_distance(0, 7) == 1
+        assert tm.ring_distance(0, 4) == 4
+        assert tm.ring_distance(3, 3) == 0
+
+    def test_related_and_far(self):
+        tm = TopicModel(num_topics=8)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            assert tm.ring_distance(3, tm.related_topic(3, rng)) == 1
+            assert tm.ring_distance(3, tm.far_topic(3, rng)) >= 2
+
+    def test_topic_of_token(self):
+        tm = TopicModel(num_topics=4)
+        tok = tm.topic_tokens[1][0]
+        assert tm.topic_of_token(int(tok)) == 1
+        assert tm.topic_of_token(0) is None  # PAD
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopicModel(num_topics=2)
+        with pytest.raises(ValueError):
+            TopicModel(purity=0.0)
+
+
+class TestTasks:
+    def test_all_eight_tasks_present(self):
+        assert set(GLUE_TASKS) == {"MNLI", "QQP", "SST-2", "MRPC", "CoLA", "QNLI",
+                                   "RTE", "STS-B"}
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            make_task("SQUAD")
+
+    @pytest.mark.parametrize("name", sorted(GLUE_TASKS))
+    def test_shapes_and_labels(self, name):
+        train, evals = make_task(name, seq_len=16, seed=1)
+        spec = GLUE_TASKS[name]
+        assert train.input_ids.shape == (spec.train_size, 16)
+        assert train.attention_mask.shape == train.input_ids.shape
+        assert len(train.labels) == spec.train_size
+        if spec.regression:
+            assert train.labels.dtype == np.float32
+            assert train.labels.min() >= 0 and train.labels.max() <= 5
+        else:
+            assert train.labels.dtype == np.int64
+            assert set(np.unique(train.labels)).issubset(set(range(spec.num_classes)))
+        for split in spec.eval_splits:
+            assert len(evals[split]) == spec.eval_size
+
+    def test_mnli_has_two_eval_splits(self):
+        _, evals = make_task("MNLI", seed=0)
+        assert set(evals) == {"m", "mm"}
+
+    def test_cls_sep_structure(self):
+        train, _ = make_task("QQP", seq_len=16, seed=0)
+        v = Vocab()
+        assert (train.input_ids[:, 0] == v.CLS).all()
+        assert ((train.input_ids == v.SEP).sum(axis=1) == 2).all()  # pair task
+
+    def test_single_task_one_sep(self):
+        train, _ = make_task("SST-2", seq_len=16, seed=0)
+        v = Vocab()
+        assert ((train.input_ids == v.SEP).sum(axis=1) == 1).all()
+
+    def test_attention_mask_matches_padding(self):
+        train, _ = make_task("RTE", seq_len=16, seed=0)
+        v = Vocab()
+        np.testing.assert_array_equal(train.attention_mask, train.input_ids != v.PAD)
+
+    def test_deterministic_given_seed(self):
+        t1, _ = make_task("CoLA", seed=5)
+        t2, _ = make_task("CoLA", seed=5)
+        np.testing.assert_array_equal(t1.input_ids, t2.input_ids)
+
+    def test_different_seeds_differ(self):
+        t1, _ = make_task("CoLA", seed=5)
+        t2, _ = make_task("CoLA", seed=6)
+        assert not np.array_equal(t1.input_ids, t2.input_ids)
+
+    def test_train_size_override(self):
+        train, _ = make_task("SST-2", train_size=32)
+        assert len(train) == 32
+
+    def test_labels_roughly_balanced(self):
+        train, _ = make_task("QNLI", seed=3)
+        frac = train.labels.mean()
+        assert 0.3 < frac < 0.7
+
+    def test_sts_b_label_is_high_half_fraction(self):
+        """STS-B labels equal 5 × the fraction of high-half content tokens."""
+        v = Vocab()
+        train, _ = make_task("STS-B", seed=0)
+        content = np.arange(v.content_start, v.size)
+        mid = v.content_start + len(content) // 2
+        for row in range(20):
+            ids = train.input_ids[row]
+            toks = ids[(ids >= v.content_start)]
+            frac = (toks >= mid).mean()
+            assert train.labels[row] == pytest.approx(5 * frac, abs=1e-5)
+
+    def test_mnli_uses_nine_topics(self):
+        from repro.data.tasks import GLUE_TASKS
+
+        assert GLUE_TASKS["MNLI"].num_topics % 3 == 0
+
+    def test_glue_score(self):
+        assert glue_score({"a": 80.0, "b": 90.0}) == 85.0
+        with pytest.raises(ValueError):
+            glue_score({})
+
+
+class TestLoaders:
+    def test_batch_iteration_covers_all(self):
+        train, _ = make_task("SST-2", train_size=50)
+        seen = 0
+        for b in batch_iter(train, 16):
+            assert isinstance(b, Batch)
+            seen += len(b)
+        assert seen == 50
+
+    def test_drop_last(self):
+        train, _ = make_task("SST-2", train_size=50)
+        seen = sum(len(b) for b in batch_iter(train, 16, drop_last=True))
+        assert seen == 48
+
+    def test_shuffle_changes_order(self):
+        train, _ = make_task("SST-2", train_size=64)
+        b1 = next(batch_iter(train, 64))
+        b2 = next(batch_iter(train, 64, rng=np.random.default_rng(0)))
+        assert not np.array_equal(b1.input_ids, b2.input_ids)
+
+    def test_invalid_batch_size(self):
+        train, _ = make_task("SST-2", train_size=8)
+        with pytest.raises(ValueError):
+            next(batch_iter(train, 0))
+
+
+class TestMLM:
+    def test_mask_tokens_rates(self):
+        v = Vocab()
+        ids = np.random.default_rng(0).integers(v.content_start, v.size, size=(200, 64))
+        masked, labels = mask_tokens(ids, v, np.random.default_rng(1))
+        selected = labels != -100
+        assert 0.10 < selected.mean() < 0.20
+        # ~80% of selected become [MASK]
+        mask_frac = (masked[selected] == v.MASK).mean()
+        assert 0.7 < mask_frac < 0.9
+        # labels hold original ids at selected positions
+        np.testing.assert_array_equal(labels[selected], ids[selected])
+
+    def test_specials_never_masked(self):
+        v = Vocab()
+        ids = np.full((10, 8), v.CLS)
+        masked, labels = mask_tokens(ids, v, np.random.default_rng(0))
+        assert (labels == -100).all()
+        np.testing.assert_array_equal(masked, ids)
+
+    def test_mask_prob_validation(self):
+        with pytest.raises(ValueError):
+            mask_tokens(np.zeros((2, 2), dtype=np.int64), Vocab(),
+                        np.random.default_rng(0), mask_prob=0.0)
+
+    def test_corpus_batch_structure(self):
+        corpus = MLMCorpus(seq_len=16, seed=0)
+        b = corpus.batch(8)
+        assert b.input_ids.shape == (8, 16)
+        assert (b.input_ids[:, 0] == corpus.vocab.CLS).all() | (
+            b.input_ids[:, 0] == corpus.vocab.MASK
+        ).all()
+        assert (b.labels != -100).any()
+
+    def test_corpus_batches_differ(self):
+        corpus = MLMCorpus(seq_len=16, seed=0)
+        b1, b2 = corpus.batch(4), corpus.batch(4)
+        assert not np.array_equal(b1.input_ids, b2.input_ids)
+
+    def test_corpus_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            MLMCorpus().batch(0)

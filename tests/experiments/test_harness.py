@@ -1,0 +1,138 @@
+"""Tests for the experiment harness: structure, determinism, formatting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig4b_location,
+    figure1_comm_overhead,
+    figure2_lowrank,
+    figure5_fit,
+    format_table,
+    table2_finetune_nvlink,
+    table3_nvlink_ablation,
+    table4_breakdown_finetune,
+    table6_pretrain,
+    table7_breakdown_pretrain,
+    table9_stage_comm,
+    table10_weak_scaling,
+    tables11_14_hparam_sweep,
+)
+from repro.experiments.accuracy import (
+    pretrain_backbone,
+    table5_glue_accuracy,
+    table8_pretrain_accuracy,
+)
+from repro.experiments.timing import FINETUNE_SCHEMES
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 1234.5678}, {"a": 22, "b": 3.1}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1,234.57" in text
+        assert len({len(l) for l in lines[1:]}) <= 2  # header/sep/body aligned
+
+    def test_format_empty(self):
+        assert "(empty)" in format_table([], title="x")
+
+    def test_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestTimingHarness:
+    def test_table2_structure(self):
+        rows = table2_finetune_nvlink(["w/o", "A1"])
+        assert [r["setting"] for r in rows] == ["TP=1, PP=4", "TP=2, PP=2", "TP=4, PP=1"]
+        assert all({"w/o", "A1"} <= set(r) for r in rows)
+
+    def test_table2_deterministic(self):
+        a = table2_finetune_nvlink(["w/o"])
+        b = table2_finetune_nvlink(["w/o"])
+        assert a == b
+
+    def test_default_scheme_columns_match_paper(self):
+        assert FINETUNE_SCHEMES[0] == "w/o"
+        assert set(FINETUNE_SCHEMES) >= {"A1", "A2", "T1", "T4", "R1", "R4", "Q1", "Q2"}
+
+    def test_table3_has_both_machines(self):
+        rows = table3_nvlink_ablation()
+        machines = {r["machine"] for r in rows}
+        assert machines == {"With NVLink", "Without NVLink"}
+        assert len(rows) == 6
+
+    def test_table4_breakdown_columns(self):
+        rows = table4_breakdown_finetune(["w/o", "A1"])
+        expected = {"scheme", "forward", "backward", "optimizer", "wait_pipeline",
+                    "total", "tensor_enc", "tensor_dec", "tensor_comm"}
+        assert set(rows[0]) == expected
+        for r in rows:
+            assert r["total"] == pytest.approx(
+                r["forward"] + r["backward"] + r["optimizer"] + r["wait_pipeline"]
+            )
+
+    def test_table6_grid(self):
+        rows = table6_pretrain(["w/o"])
+        assert [r["setting"] for r in rows] == ["TP=2, PP=8", "TP=4, PP=4", "TP=8, PP=2"]
+
+    def test_table7_subset(self):
+        rows = table7_breakdown_pretrain(["w/o", "A2"])
+        assert len(rows) == 2
+
+    def test_table9_three_boundaries(self):
+        rows = table9_stage_comm()
+        assert len(rows) == 3
+
+    def test_tables11_14_keys(self):
+        out = tables11_14_hparam_sweep(["w/o", "Q3"])
+        assert set(out) == {"table11_nvlink_b32", "table12_nvlink_b8",
+                            "table13_pcie_b32", "table14_pcie_b8"}
+
+    def test_fig1_fractions_valid(self):
+        for r in figure1_comm_overhead():
+            assert 0 < r["comm_fraction"] < 1
+
+
+class TestAnalysisHarness:
+    def test_fig2_report_keys(self):
+        r = figure2_lowrank()
+        assert {"gradient", "activation", "gradient_is_lower_rank"} <= set(r)
+
+    def test_fig5_prediction_arrays_aligned(self):
+        r = figure5_fit()
+        n = len(r["measured"]["hiddens"])
+        assert len(r["predicted"]["speedup"]) == n
+
+    def test_table10_rows(self):
+        rows = table10_weak_scaling()
+        assert len(rows) == 7
+        assert rows[0]["hidden"] == 6144
+
+
+class TestAccuracyHarness:
+    """Tiny-budget runs exercising the full accuracy pipeline."""
+
+    def test_backbone_cache_hit(self):
+        a = pretrain_backbone("w/o", steps=5, seed=99)
+        b = pretrain_backbone("w/o", steps=5, seed=99)
+        assert a is b
+
+    def test_table5_structure_tiny(self):
+        rows = table5_glue_accuracy(tasks=["SST-2"], schemes=["w/o", "A2"],
+                                    seed=0, pretrain_steps=5)
+        assert [r["scheme"] for r in rows] == ["w/o", "A2"]
+        assert all("SST-2" in r and "Avg." in r for r in rows)
+
+    def test_table5_mnli_two_columns_tiny(self):
+        rows = table5_glue_accuracy(tasks=["MNLI"], schemes=["w/o"],
+                                    seed=0, pretrain_steps=5)
+        assert {"MNLI-m", "MNLI-mm"} <= set(rows[0])
+
+    def test_table8_finetunes_without_compression_tiny(self):
+        rows = table8_pretrain_accuracy(tasks=["SST-2"], schemes=["w/o", "A2"],
+                                        seed=0, pretrain_steps=5)
+        assert len(rows) == 2
+        assert all(np.isfinite(r["Avg."]) for r in rows)

@@ -1,0 +1,133 @@
+"""Optimizer and LR-schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW, ConstantLR, WarmupLinearLR
+from repro.tensor import Tensor, functional as F
+
+
+def quadratic_param(start=5.0):
+    return Parameter(np.array([start], dtype=np.float32))
+
+
+def step_quadratic(opt, p, n=50):
+    for _ in range(n):
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+    return float(p.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(step_quadratic(SGD([p], lr=0.1), p)) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        v_plain = abs(step_quadratic(SGD([p1], lr=0.01), p1, n=20))
+        v_mom = abs(step_quadratic(SGD([p2], lr=0.01, momentum=0.9), p2, n=20))
+        assert v_mom < v_plain
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_params_without_grad(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        opt = SGD([p1, p2], lr=0.1)
+        p1.grad = np.ones(1, dtype=np.float32)
+        before = p2.data.copy()
+        opt.step()
+        np.testing.assert_array_equal(p2.data, before)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert abs(step_quadratic(Adam([p], lr=0.3), p, n=100)) < 0.05
+
+    def test_bias_correction_first_step(self):
+        # After one step with grad g, Adam moves by ~lr * sign(g).
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([4.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(p.data[0], 1.0 - 0.1, atol=1e-3)
+
+    def test_adamw_decoupled_decay(self):
+        pw = Parameter(np.array([2.0], dtype=np.float32))
+        opt = AdamW([pw], lr=0.1, weight_decay=0.1)
+        pw.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        # Pure decay: 2.0 * (1 - lr*wd)
+        np.testing.assert_allclose(pw.data[0], 2.0 * (1 - 0.01), rtol=1e-5)
+
+    def test_clip_grad_norm(self):
+        p = Parameter(np.array([0.0, 0.0], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([3.0, 4.0], dtype=np.float32)
+        norm = opt.clip_grad_norm(1.0)
+        np.testing.assert_allclose(norm, 5.0, rtol=1e-5)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, rtol=1e-4)
+
+    def test_clip_noop_when_below(self):
+        p = Parameter(np.array([0.1], dtype=np.float32))
+        opt = Adam([p], lr=0.1)
+        p.grad = np.array([0.5], dtype=np.float32)
+        opt.clip_grad_norm(10.0)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+
+class TestSchedules:
+    def test_constant(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.5)
+        sched = ConstantLR(opt)
+        for _ in range(3):
+            assert sched.step() == 0.5
+
+    def test_warmup_then_decay(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=1.0)
+        sched = WarmupLinearLR(opt, warmup_steps=10, total_steps=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[9] == pytest.approx(1.0)  # peak at end of warmup
+        assert lrs[19] == pytest.approx(0.0)
+        assert max(lrs) == pytest.approx(1.0)
+
+    def test_total_steps_validation(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError):
+            WarmupLinearLR(SGD([p], lr=1.0), warmup_steps=0, total_steps=0)
+
+    def test_trains_tiny_model_end_to_end(self):
+        """Smoke: Adam + schedule reduce loss on a 2-layer MLP XOR-ish task."""
+        rng = np.random.default_rng(0)
+        from repro import nn
+
+        w1 = nn.Linear(2, 8, rng)
+        w2 = nn.Linear(8, 2, rng)
+        X = rng.normal(size=(64, 2)).astype(np.float32)
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(np.int64)
+        params = w1.parameters() + w2.parameters()
+        opt = Adam(params, lr=1e-2)
+        losses = []
+        for _ in range(150):
+            opt.zero_grad()
+            logits = w2(F.relu(w1(Tensor(X))))
+            loss = F.cross_entropy(logits, y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5

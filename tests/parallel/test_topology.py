@@ -1,0 +1,105 @@
+"""Tests for cluster topology and rank layout."""
+
+import pytest
+
+from repro.parallel import ClusterTopology, LinkType, ParallelLayout
+from repro.parallel.pipeline import PipelinePartition, gpipe_iteration_slots
+
+
+class TestClusterTopology:
+    def test_p3_world_size(self):
+        assert ClusterTopology.p3_8xlarge().world_size == 4
+        assert ClusterTopology.p3_8xlarge(4).world_size == 16
+
+    def test_node_of(self):
+        t = ClusterTopology.p3_8xlarge(2)
+        assert t.node_of(0) == 0
+        assert t.node_of(5) == 1
+
+    def test_link_between(self):
+        t = ClusterTopology.p3_8xlarge(2)
+        assert t.link_between(0, 3) == LinkType.NVLINK
+        assert t.link_between(3, 4) == LinkType.ETHERNET
+
+    def test_local_pcie(self):
+        t = ClusterTopology.local_pcie()
+        assert t.intra_node_link == LinkType.PCIE
+
+    def test_rank_range_check(self):
+        with pytest.raises(ValueError):
+            ClusterTopology.p3_8xlarge().node_of(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(0, 4, LinkType.NVLINK)
+
+
+class TestParallelLayout:
+    def test_world_size_must_match(self):
+        with pytest.raises(ValueError):
+            ParallelLayout(ClusterTopology.p3_8xlarge(), tp=4, pp=4)
+
+    def test_megatron_rank_packing(self):
+        lay = ParallelLayout(ClusterTopology.p3_8xlarge(4), tp=4, pp=4)
+        # TP groups are consecutive ranks → inside one node
+        assert lay.tp_group(0) == [0, 1, 2, 3]
+        assert lay.tp_group(1) == [4, 5, 6, 7]
+        assert lay.tp_link(0) == LinkType.NVLINK
+
+    def test_tp_spanning_nodes_uses_slow_link(self):
+        lay = ParallelLayout(ClusterTopology.p3_8xlarge(4), tp=8, pp=2)
+        # TP group of 8 spans two 4-GPU nodes → Ethernet bottleneck,
+        # which is why the paper's TP=8, PP=2 row is ~10x slower (Table 6).
+        assert lay.tp_link(0) == LinkType.ETHERNET
+
+    def test_pp_link_crosses_nodes(self):
+        lay = ParallelLayout(ClusterTopology.p3_8xlarge(4), tp=4, pp=4)
+        assert lay.pp_link(0) == LinkType.ETHERNET
+
+    def test_pp_link_within_node(self):
+        lay = ParallelLayout(ClusterTopology.p3_8xlarge(1), tp=2, pp=2)
+        assert lay.pp_link(0) == LinkType.NVLINK
+
+    def test_rank_coords(self):
+        lay = ParallelLayout(ClusterTopology.p3_8xlarge(1), tp=2, pp=2)
+        assert lay.rank(1, 1) == 3
+        with pytest.raises(ValueError):
+            lay.rank(2, 0)
+
+    def test_tp1_link(self):
+        lay = ParallelLayout(ClusterTopology.p3_8xlarge(1), tp=1, pp=4)
+        assert lay.tp_link(0) == LinkType.NVLINK
+
+
+class TestPipelinePartition:
+    def test_balanced_even(self):
+        p = PipelinePartition.balanced(24, 4)
+        assert [len(s) for s in p.stages] == [6, 6, 6, 6]
+        assert p.boundaries() == [5, 11, 17]
+
+    def test_balanced_remainder(self):
+        p = PipelinePartition.balanced(10, 4)
+        assert [len(s) for s in p.stages] == [3, 3, 2, 2]
+        assert sum(len(s) for s in p.stages) == 10
+
+    def test_stage_of(self):
+        p = PipelinePartition.balanced(24, 4)
+        assert p.stage_of(0) == 0
+        assert p.stage_of(23) == 3
+        with pytest.raises(ValueError):
+            p.stage_of(24)
+
+    def test_too_many_stages(self):
+        with pytest.raises(ValueError):
+            PipelinePartition.balanced(2, 4)
+
+    def test_single_stage_no_boundaries(self):
+        p = PipelinePartition.balanced(8, 1)
+        assert p.boundaries() == []
+        assert p.num_boundaries == 0
+
+    def test_gpipe_slots(self):
+        assert gpipe_iteration_slots(8, 4) == 11
+        assert gpipe_iteration_slots(1, 1) == 1
+        with pytest.raises(ValueError):
+            gpipe_iteration_slots(0, 4)

@@ -1,0 +1,96 @@
+"""Unit tests for the communication cost models."""
+
+import pytest
+
+from repro.parallel.topology import LinkType
+from repro.simulator.calibration import CALIBRATION
+from repro.simulator.comm import (
+    allgather_time,
+    allreduce_multinode_time,
+    allreduce_time,
+    link_of,
+    p2p_time,
+)
+from repro.simulator.hardware import LINKS, LinkSpec
+
+MB = 1024 * 1024
+
+
+class TestAllReduce:
+    def test_world_one_is_free(self):
+        assert allreduce_time(100 * MB, 1, LinkType.NVLINK) == 0.0
+
+    def test_small_message_constant(self):
+        t = allreduce_time(1000, 4, LinkType.NVLINK)
+        assert t == CALIBRATION.small_message_ms
+
+    def test_scales_linearly_with_bytes(self):
+        t1 = allreduce_time(32 * MB, 2, LinkType.PCIE)
+        t2 = allreduce_time(64 * MB, 2, LinkType.PCIE)
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+    def test_ring_factor(self):
+        """Wire bytes follow 2(p−1)/p on a non-scaling fabric."""
+        t2 = allreduce_time(32 * MB, 2, LinkType.PCIE)
+        t4 = allreduce_time(32 * MB, 4, LinkType.PCIE)
+        # 2·(3/4) / (2·(1/2)) = 1.5, modulo latency terms
+        assert t4 / t2 == pytest.approx(1.5, rel=0.05)
+
+    def test_nvlink_concurrency_keeps_p4_cheap(self):
+        """On fully-connected NVLink, p=4 costs less than 1.5× p=2."""
+        t2 = allreduce_time(32 * MB, 2, LinkType.NVLINK)
+        t4 = allreduce_time(32 * MB, 4, LinkType.NVLINK)
+        assert t4 < t2
+
+    def test_paper_table4_calibration(self):
+        """48 forward collectives of 32 MB ≈ 150 ms on the PCIe box."""
+        per = allreduce_time(32 * 512 * 1024 * 2, 2, LinkType.PCIE)
+        assert 48 * per == pytest.approx(150.72, rel=0.15)
+
+
+class TestAllGather:
+    def test_moves_world_minus_one_messages(self):
+        t2 = allgather_time(8 * MB, 2, LinkType.PCIE)
+        t4 = allgather_time(8 * MB, 4, LinkType.PCIE)
+        assert t4 / t2 == pytest.approx(3.0, rel=0.1)
+
+    def test_world_one_free(self):
+        assert allgather_time(8 * MB, 1, LinkType.PCIE) == 0.0
+
+    def test_small_total_constant(self):
+        assert allgather_time(1000, 2, LinkType.PCIE) == CALIBRATION.small_message_ms
+
+
+class TestP2P:
+    def test_uses_p2p_bandwidth(self):
+        eth = LINKS[LinkType.ETHERNET]
+        t = p2p_time(8 * MB, LinkType.ETHERNET)
+        expected = 8 * MB / (eth.p2p_gbps * 1e9) * 1e3 + eth.latency_s * 1e3
+        assert t == pytest.approx(expected)
+
+    def test_ethernet_p2p_faster_than_its_collectives(self):
+        assert LINKS[LinkType.ETHERNET].p2p_gbps > LINKS[LinkType.ETHERNET].bandwidth_gbps
+
+    def test_small_message_floor(self):
+        assert p2p_time(100, LinkType.NVLINK) == CALIBRATION.small_message_ms
+
+
+class TestMultinode:
+    def test_within_node_delegates(self):
+        t = allreduce_multinode_time(32 * MB, 4, 4, LinkType.NVLINK, LinkType.ETHERNET)
+        assert t == allreduce_time(32 * MB, 4, LinkType.NVLINK)
+
+    def test_spanning_nodes_adds_inter_phase(self):
+        t_in = allreduce_multinode_time(32 * MB, 4, 4, LinkType.NVLINK, LinkType.ETHERNET)
+        t_span = allreduce_multinode_time(32 * MB, 8, 4, LinkType.NVLINK, LinkType.ETHERNET)
+        assert t_span > 10 * t_in  # Ethernet phase dominates
+
+    def test_hierarchical_beats_flat_ethernet(self):
+        flat = allreduce_time(32 * MB, 8, LinkType.ETHERNET)
+        hier = allreduce_multinode_time(32 * MB, 8, 4, LinkType.NVLINK, LinkType.ETHERNET)
+        assert hier < flat
+
+    def test_link_of_passthrough(self):
+        spec = LinkSpec("x", 1.0, 1e-6)
+        assert link_of(spec) is spec
+        assert link_of(LinkType.NVLINK) is LINKS[LinkType.NVLINK]

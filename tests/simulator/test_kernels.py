@@ -1,0 +1,81 @@
+"""Unit tests for kernel cost models."""
+
+import pytest
+
+from repro.compression.notation import scheme_spec
+from repro.simulator.calibration import CALIBRATION
+from repro.simulator.kernels import (
+    elementwise_time,
+    encode_decode_time,
+    gemm_time,
+    layer_forward_flops,
+)
+
+
+class TestGemm:
+    def test_layer_flops_formula(self):
+        # 24Bsh² + 4Bs²h at B=32, s=512, h=1024
+        expected = 24 * 32 * 512 * 1024**2 + 4 * 32 * 512**2 * 1024
+        assert layer_forward_flops(32, 512, 1024) == expected
+
+    def test_gemm_time_linear(self):
+        assert gemm_time(2e12, 50.0) == pytest.approx(2 * gemm_time(1e12, 50.0))
+
+    def test_zero_flops_free(self):
+        assert gemm_time(0, 50.0) == 0.0
+
+    def test_elementwise_scales_inverse_tp(self):
+        t1 = elementwise_time(32, 512, 1024, 1)
+        t2 = elementwise_time(32, 512, 1024, 2)
+        assert t1 == pytest.approx(2 * t2)
+
+
+class TestEncodeDecode:
+    def test_none_is_free(self):
+        c = encode_decode_time(scheme_spec("w/o"), 32, 512, 1024)
+        assert c.encode_ms == 0.0 and c.decode_ms == 0.0
+
+    def test_ae_has_backward_cost(self):
+        c = encode_decode_time(scheme_spec("A1"), 32, 512, 1024)
+        assert c.backward_ms > 0
+        assert c.backward_ms == pytest.approx(
+            2 * (c.encode_ms + c.decode_ms - 2 * CALIBRATION.kernel_launch_ms), rel=0.01
+        )
+
+    def test_topk_encode_dominated_by_scan(self):
+        """Table 4: Top-K encode ≈ constant across T1–T4 (scan-dominated)."""
+        t1 = encode_decode_time(scheme_spec("T1"), 32, 512, 1024)
+        t4 = encode_decode_time(scheme_spec("T4"), 32, 512, 1024)
+        assert t4.encode_ms < 1.5 * t1.encode_ms
+        assert t4.decode_ms > 3 * t1.decode_ms  # decode scales with k
+
+    def test_randomk_encode_catastrophic(self):
+        """The Python sampler costs ~3 orders more than torch.topk."""
+        r1 = encode_decode_time(scheme_spec("R1"), 32, 512, 1024)
+        t1 = encode_decode_time(scheme_spec("T1"), 32, 512, 1024)
+        assert r1.encode_ms > 20 * t1.encode_ms
+
+    def test_paper_t1_encode_calibration(self):
+        """24 calls of T1 encode ≈ 70 ms (Table 4)."""
+        c = encode_decode_time(scheme_spec("T1"), 32, 512, 1024)
+        assert 24 * c.encode_ms == pytest.approx(70.08, rel=0.2)
+
+    def test_paper_r1_encode_calibration(self):
+        c = encode_decode_time(scheme_spec("R1"), 32, 512, 1024)
+        assert 24 * c.encode_ms == pytest.approx(2040.24, rel=0.2)
+
+    def test_quant_cost_independent_of_bits(self):
+        q1 = encode_decode_time(scheme_spec("Q1"), 32, 512, 1024)
+        q2 = encode_decode_time(scheme_spec("Q2"), 32, 512, 1024)
+        assert q1.encode_ms == pytest.approx(q2.encode_ms)
+
+    def test_decode_multiplicity_scales_sparse(self):
+        one = encode_decode_time(scheme_spec("T2"), 32, 512, 1024, decode_multiplicity=1)
+        four = encode_decode_time(scheme_spec("T2"), 32, 512, 1024, decode_multiplicity=4)
+        assert four.decode_ms > 3 * one.decode_ms
+
+    def test_unknown_family_rejected(self):
+        from repro.compression.notation import SchemeSpec
+
+        with pytest.raises(ValueError):
+            encode_decode_time(SchemeSpec("X", "mystery"), 32, 512, 1024)

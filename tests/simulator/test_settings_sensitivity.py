@@ -1,0 +1,81 @@
+"""Sensitivity/monotonicity properties of the simulator (hypothesis-style
+checks in plain pytest: these are physical invariants the model must obey).
+"""
+
+import pytest
+
+from repro.compression import CompressionPolicy
+from repro.parallel.topology import ClusterTopology
+from repro.simulator import IterationSimulator, SimSetting
+
+
+def total(topology, tp, pp, batch, seq, **kw):
+    return IterationSimulator(SimSetting(topology, tp, pp, batch, seq, **kw)).total_ms()
+
+
+class TestMonotonicity:
+    def test_time_increases_with_batch(self):
+        topo = ClusterTopology.p3_8xlarge()
+        times = [total(topo, 2, 2, b, 512) for b in (8, 16, 32, 64)]
+        assert times == sorted(times)
+
+    def test_time_increases_with_seq(self):
+        topo = ClusterTopology.p3_8xlarge()
+        times = [total(topo, 2, 2, 32, s) for s in (128, 256, 512)]
+        assert times == sorted(times)
+
+    def test_time_increases_with_microbatches(self):
+        topo = ClusterTopology.p3_8xlarge(4)
+        times = [total(topo, 4, 4, 64, 128, num_microbatches=m) for m in (1, 2, 4, 8)]
+        assert times == sorted(times)
+
+    def test_slower_link_never_faster(self):
+        t_nv = total(ClusterTopology.p3_8xlarge(), 4, 1, 32, 512)
+        t_pcie = total(ClusterTopology.local_pcie(), 4, 1, 32, 512)
+        assert t_pcie > t_nv
+
+    def test_more_compressed_layers_more_overhead(self):
+        """Top-K: encode/decode overhead scales with the policy size."""
+        topo = ClusterTopology.p3_8xlarge()
+        times = [
+            total(topo, 4, 1, 32, 512, scheme="T1",
+                  policy=CompressionPolicy.last_k(24, k))
+            for k in (6, 12, 24)
+        ]
+        assert times == sorted(times)
+
+    def test_ae_benefit_grows_with_message_size_on_pcie(self):
+        """Takeaway 8's mechanism: bigger b·s → more comm to save."""
+        topo = ClusterTopology.local_pcie()
+        speedups = []
+        for b, s in [(8, 128), (32, 128), (32, 512)]:
+            wo = total(topo, 4, 1, b, s)
+            ae = total(topo, 4, 1, b, s, scheme="A2")
+            speedups.append(wo / ae)
+        assert speedups == sorted(speedups)
+        assert speedups[0] < 1.02  # small setting: no benefit
+        assert speedups[-1] > 1.05  # large setting: real benefit
+
+
+class TestScalingLaws:
+    def test_compute_quadratic_in_hidden(self):
+        from repro.nn.transformer import TransformerConfig
+
+        topo = ClusterTopology.p3_8xlarge()
+
+        def compute_ms(h):
+            cfg = TransformerConfig(vocab_size=1000, max_seq_len=512, hidden=h,
+                                    num_layers=1, num_heads=h // 64)
+            sim = IterationSimulator(SimSetting(topo, 4, 1, 16, 128, model=cfg))
+            return sim.layer_forward_compute_ms()
+
+        r = compute_ms(4096) / compute_ms(2048)
+        assert r == pytest.approx(4.0, rel=0.15)  # 24Bsh² dominates
+
+    def test_attention_term_matters_at_long_seq(self):
+        from repro.simulator.kernels import layer_forward_flops
+
+        short = layer_forward_flops(1, 128, 1024)
+        long = layer_forward_flops(1, 4096, 1024)
+        # Quadratic s² term: >2× the pure linear extrapolation at s=4096.
+        assert long > (4096 / 128) * short * 1.3

@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covers the compressors' message contracts, byte accounting, autograd
+linearity, metric ranges, and partition/policy algebra.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import (
+    AutoencoderCompressor,
+    CompressionPolicy,
+    QuantizationCompressor,
+    RandomKCompressor,
+    TopKCompressor,
+)
+from repro.data.metrics import f1_binary, matthews_corrcoef, spearman_corr
+from repro.parallel.pipeline import PipelinePartition
+from repro.tensor import Tensor
+
+finite_arrays = hnp.arrays(
+    dtype=np.float32,
+    shape=hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=24),
+    elements=st.floats(-100, 100, width=32),
+)
+
+fractions = st.floats(0.01, 1.0)
+
+
+class TestCompressorProperties:
+    @given(x=finite_arrays, fraction=fractions)
+    @settings(max_examples=40, deadline=None)
+    def test_topk_roundtrip_supported_on_input(self, x, fraction):
+        """Reconstruction is zero or an exact copy of the input entrywise."""
+        c = TopKCompressor(fraction)
+        out = c.roundtrip(x)
+        assert out.shape == x.shape
+        mask = out != 0
+        np.testing.assert_array_equal(out[mask], x[mask])
+
+    @given(x=finite_arrays, fraction=fractions)
+    @settings(max_examples=40, deadline=None)
+    def test_topk_keeps_largest_mass(self, x, fraction):
+        """No dropped entry exceeds a kept entry in magnitude."""
+        c = TopKCompressor(fraction)
+        out = c.roundtrip(x)
+        kept = np.abs(x[out != 0])
+        dropped = np.abs(x[out == 0])
+        if kept.size and dropped.size:
+            assert dropped.max() <= kept.min() + 1e-6
+
+    @given(x=finite_arrays, fraction=fractions, seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_randomk_wire_bytes_match_analytic(self, x, fraction, seed):
+        c = RandomKCompressor(fraction, seed=seed)
+        msg = c.compress(x)
+        assert msg.wire_bytes == c.compressed_bytes(x.shape)
+        assert msg.ratio >= 1.0 / 3.0  # 6 bytes per kept vs 2 per dense
+
+    @given(x=finite_arrays, bits=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_quant_error_bounded_by_group_range(self, x, bits):
+        c = QuantizationCompressor(bits, group_size=64)
+        out = c.roundtrip(x)
+        span = float(x.max() - x.min()) if x.size else 0.0
+        step = span / (2**bits - 1)
+        assert np.abs(out - x).max() <= step / 2 + 1e-4
+
+    @given(x=finite_arrays, bits=st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_quant_wire_bytes_positive_and_exact(self, x, bits):
+        c = QuantizationCompressor(bits)
+        msg = c.compress(x)
+        assert msg.wire_bytes == c.compressed_bytes(x.shape) > 0
+
+    @given(
+        batch=st.integers(1, 4),
+        seq=st.integers(1, 8),
+        hidden=st.sampled_from([8, 16, 32]),
+        code=st.integers(2, 6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ae_linearity(self, batch, seq, hidden, code):
+        """dec(enc(x+y)) == dec(enc(x)) + dec(enc(y)) — the property that
+        makes AE all-reduce compatible."""
+        code = min(code, hidden - 1)
+        ae = AutoencoderCompressor(hidden, code, seed=0)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(batch, seq, hidden)).astype(np.float32)
+        y = rng.normal(size=(batch, seq, hidden)).astype(np.float32)
+        np.testing.assert_allclose(
+            ae.roundtrip(x + y), ae.roundtrip(x) + ae.roundtrip(y),
+            rtol=1e-3, atol=1e-4,
+        )
+
+    @given(x=finite_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_backward_bytes_never_exceed_dense(self, x):
+        if x.size < 64:
+            return  # per-message floors dominate tiny tensors
+        dense = x.size * 2
+        for comp in (TopKCompressor(0.1), QuantizationCompressor(4),
+                     RandomKCompressor(0.1)):
+            assert comp.backward_bytes(x.shape) <= dense * 1.2
+
+
+class TestAutogradProperties:
+    @given(
+        a=hnp.arrays(np.float32, (3, 4), elements=st.floats(-10, 10, width=32)),
+        b=hnp.arrays(np.float32, (3, 4), elements=st.floats(-10, 10, width=32)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, a, b):
+        x = Tensor(a, requires_grad=True)
+        y = Tensor(b, requires_grad=True)
+        (x + y).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones_like(a))
+        np.testing.assert_allclose(y.grad, np.ones_like(b))
+
+    @given(
+        a=hnp.arrays(np.float32, (2, 3), elements=st.floats(-5, 5, width=32)),
+        k=st.floats(-3, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_backward_linear_in_upstream(self, a, k):
+        """grad(k·f) == k·grad(f) for f = sum(x²)."""
+        x1 = Tensor(a.copy(), requires_grad=True)
+        (x1 * x1).sum().backward()
+        x2 = Tensor(a.copy(), requires_grad=True)
+        ((x2 * x2).sum() * float(k)).backward()
+        np.testing.assert_allclose(x2.grad, np.float32(k) * x1.grad, rtol=1e-3, atol=1e-4)
+
+
+class TestMetricProperties:
+    labels = hnp.arrays(np.int64, st.integers(4, 60), elements=st.integers(0, 1))
+
+    @given(
+        data=st.integers(4, 60).flatmap(
+            lambda n: st.tuples(
+                hnp.arrays(np.int64, n, elements=st.integers(0, 1)),
+                hnp.arrays(np.int64, n, elements=st.integers(0, 1)),
+            )
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matthews_in_range(self, data):
+        labels, preds = data
+        m = matthews_corrcoef(preds, labels)
+        assert -1.0 <= m <= 1.0
+
+    @given(labels=labels)
+    @settings(max_examples=30, deadline=None)
+    def test_f1_perfect_prediction(self, labels):
+        expected = 1.0 if (labels == 1).any() else 0.0
+        assert f1_binary(labels, labels) == expected
+
+    @given(
+        x=hnp.arrays(np.int64, st.integers(3, 40),
+                     elements=st.integers(-1000, 1000)).map(
+            lambda a: a.astype(np.float64) * 0.1
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_spearman_invariant_to_monotone_transform(self, x):
+        y = 2.0 * x + 1.0
+        s = spearman_corr(x, y)
+        assert abs(s - 1.0) < 1e-9 or s == 0.0  # 0 when x is constant
+
+
+class TestPartitionPolicyProperties:
+    @given(layers=st.integers(1, 48), pp=st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_covers_all_layers_once(self, layers, pp):
+        if pp > layers:
+            return
+        p = PipelinePartition.balanced(layers, pp)
+        seen = [l for stage in p.stages for l in stage]
+        assert seen == list(range(layers))
+        sizes = [len(s) for s in p.stages]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(layers=st.integers(1, 48), k=st.integers(0, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_last_k_policy_size(self, layers, k):
+        p = CompressionPolicy.last_k(layers, k)
+        assert p.num_compressed == min(k, layers)
+        if p.layers:
+            assert max(p.layers) == layers - 1
+
+    @given(layers=st.integers(2, 48), pp=st.integers(2, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_boundary_count_matches_pp(self, layers, pp):
+        if pp > layers:
+            return
+        p = PipelinePartition.balanced(layers, pp)
+        assert len(p.boundaries()) == pp - 1
+        for b in p.boundaries():
+            assert p.stage_of(b) + 1 == p.stage_of(b + 1)
