@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint lint-dynamic check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) -m repro.lint src/
+
+lint-dynamic:
+	$(PYTHON) -m repro.lint --dynamic src/
+
+# The merge gate: tier-1 tests plus the full static+dynamic lint.
+check: test lint-dynamic

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 __all__ = ["CompressionPolicy"]
 
 
@@ -38,10 +40,15 @@ class CompressionPolicy:
     def __post_init__(self):
         if self.num_layers <= 0:
             raise ValueError("num_layers must be positive")
+        non_int = [i for i in self.layers if not isinstance(i, (int, np.integer))]
+        if non_int:
+            # A float index like 2.5 would never equal a layer and the policy
+            # would silently compress nothing at that "layer".
+            raise ValueError(f"layer indices must be integers, got {sorted(map(repr, non_int))}")
         bad = [i for i in self.layers if not 0 <= i < self.num_layers]
         if bad:
             raise ValueError(f"layer indices out of range [0, {self.num_layers}): {sorted(bad)}")
-        object.__setattr__(self, "layers", frozenset(self.layers))
+        object.__setattr__(self, "layers", frozenset(int(i) for i in self.layers))
 
     # ------------------------------------------------------------------
     @staticmethod

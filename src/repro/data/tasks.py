@@ -36,6 +36,7 @@ difficulty ordering (CoLA and RTE are the fragile tasks, as in Table 5).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -258,7 +259,9 @@ def make_task(
     spec = GLUE_TASKS[name]
     topics = topics if topics is not None else TopicModel()
     gen = _TaskGenerator(spec, topics, seq_len)
-    rng = np.random.default_rng(seed + hash(name) % 100000)
+    # crc32, not hash(): builtin string hashing is salted per process
+    # (PYTHONHASHSEED), which would give every run a different dataset.
+    rng = np.random.default_rng(seed + zlib.crc32(name.encode()) % 100000)
     n_train = train_size if train_size is not None else spec.train_size
     train = gen.generate(n_train, rng)
     evals: dict[str, GlueDataset] = {}

@@ -1,0 +1,127 @@
+"""``python -m repro.lint`` / ``repro-lint`` command line interface.
+
+Usage::
+
+    python -m repro.lint src/                 # static AST rules
+    python -m repro.lint --dynamic src/       # + graph sanitizer + SPMD check
+    python -m repro.lint --list-rules
+    python -m repro.lint --fix-report report.json src/
+
+Exit codes: 0 clean, 1 findings, 2 usage or parse failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.lint.engine import Finding, LintError, available_rules, lint_paths
+
+__all__ = ["main"]
+
+#: Rule ids for the dynamic checkers (listed alongside the AST rules).
+DYNAMIC_RULES = (
+    ("DYN001", "graph-sanity",
+     "tiny MP model forward/backward produces only finite, on-policy arrays"),
+    ("DYN002", "spmd-consistency",
+     "recorded CommEvent stream matches the closed-form (scheme, tp, pp) oracle"),
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static AST invariants + dynamic autograd/SPMD consistency checks.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list every rule id and exit")
+    parser.add_argument("--rules", metavar="ID[,ID...]",
+                        help="run only the named rules (ids or slugs)")
+    parser.add_argument("--dynamic", action="store_true",
+                        help="also run the graph sanitizer and SPMD consistency check")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the report as JSON instead of human-readable lines")
+    parser.add_argument("--fix-report", metavar="PATH",
+                        help="write a machine-readable JSON report (for tooling that "
+                             "triages or auto-fixes findings) to PATH")
+    return parser
+
+
+def _list_rules() -> int:
+    for rule in available_rules():
+        print(f"{rule.id}  {rule.name:<20} {rule.summary}")
+    for rid, name, summary in DYNAMIC_RULES:
+        print(f"{rid}  {name:<20} {summary} (--dynamic)")
+    return 0
+
+
+def _dynamic_findings() -> list[Finding]:
+    # Imported lazily: these pull in the full model stack.
+    from repro.lint.graph_check import run_graph_check
+    from repro.lint.spmd_check import run_spmd_check
+
+    findings = []
+    for message in run_graph_check():
+        findings.append(Finding("DYN001", "graph-sanity", message, "<dynamic>", 0))
+    for message in run_spmd_check():
+        findings.append(Finding("DYN002", "spmd-consistency", message, "<dynamic>", 0))
+    return findings
+
+
+def _report_dict(findings: list[Finding], checked_dynamic: bool) -> dict:
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return {
+        "clean": not findings,
+        "dynamic_checks": checked_dynamic,
+        "total": len(findings),
+        "counts_by_rule": counts,
+        "findings": [f.to_json() for f in findings],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+
+    rule_ids = [r.strip() for r in args.rules.split(",")] if args.rules else None
+    try:
+        findings = lint_paths(args.paths, rule_ids)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.dynamic:
+        findings.extend(_dynamic_findings())
+
+    report = _report_dict(findings, args.dynamic)
+    if args.fix_report:
+        with open(args.fix_report, "w") as fh:
+            json.dump(report, fh, indent=2)
+    if args.as_json:
+        print(json.dumps(report, indent=2))
+    else:
+        for f in findings:
+            print(f.format())
+        suffix = " (static + dynamic)" if args.dynamic else ""
+        if findings:
+            print(f"{len(findings)} finding(s){suffix}")
+        else:
+            print(f"clean{suffix}")
+
+    if any(f.rule == "REPRO000" for f in findings):
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,172 @@
+"""AST rule engine: file walking, rule registry, suppressions, findings.
+
+A *rule* is an object with an ``id`` (``REPROnnn``), a short ``name``, a
+one-line ``summary``, and a ``check(source)`` method yielding
+:class:`Finding` records.  Rules operate on a parsed :class:`SourceFile`
+so each file is read and parsed exactly once per run.
+
+Suppression: appending ``# lint: disable=<rule>[,<rule>...]`` to the
+flagged line silences those rules for that line (``disable=all`` silences
+every rule).  Suppressions are intentionally line-scoped — a blanket
+file-level escape hatch would defeat the point of invariant checking.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "SourceFile",
+    "Rule",
+    "register_rule",
+    "available_rules",
+    "lint_source",
+    "lint_paths",
+]
+
+#: Rule id used for files that fail to parse (not a registered rule).
+PARSE_ERROR_ID = "REPRO000"
+
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\-\s]+)")
+
+
+class LintError(Exception):
+    """Raised for unusable lint inputs (bad path, unknown rule id)."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str  # rule id, e.g. "REPRO002"
+    name: str  # rule slug, e.g. "seeded-rng"
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.name}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+class SourceFile:
+    """A parsed source file shared by all rules in one run."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+
+    @property
+    def is_test(self) -> bool:
+        """Whether the file lives in a test tree (several rules relax there)."""
+        parts = Path(self.path).parts
+        name = Path(self.path).name
+        return "tests" in parts or name.startswith("test_") or name.startswith("conftest")
+
+    def suppressed(self, line: int) -> set[str]:
+        """Rule ids (and slugs) disabled on ``line`` via an inline comment."""
+        if not 1 <= line <= len(self.lines):
+            return set()
+        m = _SUPPRESS_RE.search(self.lines[line - 1])
+        if not m:
+            return set()
+        return {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
+
+
+class Rule(Protocol):
+    id: str
+    name: str
+    summary: str
+
+    def check(self, source: SourceFile) -> Iterable[Finding]: ...
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(cls):
+    """Class decorator registering a rule (instantiated once) by its id."""
+    rule = cls()
+    if not re.fullmatch(r"REPRO\d{3}", rule.id):
+        raise ValueError(f"rule id must look like REPROnnn, got {rule.id!r}")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def available_rules() -> list[Rule]:
+    """Registered rules, sorted by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def _select(rule_ids: Iterable[str] | None) -> list[Rule]:
+    if rule_ids is None:
+        return available_rules()
+    by_key = {r.id: r for r in _REGISTRY.values()} | {r.name: r for r in _REGISTRY.values()}
+    out = []
+    for rid in rule_ids:
+        if rid not in by_key:
+            raise LintError(f"unknown rule {rid!r}; available: {sorted(_REGISTRY)}")
+        out.append(by_key[rid])
+    return out
+
+
+def _apply_rules(source: SourceFile, rules: list[Rule]) -> list[Finding]:
+    findings = []
+    for rule in rules:
+        for f in rule.check(source):
+            disabled = source.suppressed(f.line)
+            if "all" in disabled or f.rule in disabled or f.name in disabled:
+                continue
+            findings.append(f)
+    return findings
+
+
+def lint_source(text: str, path: str = "<string>", rule_ids: Iterable[str] | None = None) -> list[Finding]:
+    """Lint a source string; returns findings sorted by location."""
+    rules = _select(rule_ids)
+    try:
+        source = SourceFile(path, text)
+    except SyntaxError as exc:
+        return [Finding(PARSE_ERROR_ID, "parse-error", f"syntax error: {exc.msg}",
+                        path, exc.lineno or 1, exc.offset or 0)]
+    return sorted(_apply_rules(source, rules), key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            yield from sorted(q for q in p.rglob("*.py") if "egg-info" not in str(q))
+        elif p.is_file():
+            yield p
+        else:
+            raise LintError(f"no such file or directory: {p}")
+
+
+def lint_paths(paths: Iterable[str | Path], rule_ids: Iterable[str] | None = None) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_source(path.read_text(), str(path), rule_ids))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

@@ -1,0 +1,203 @@
+"""SPMD consistency check: recorded CommEvents vs a closed-form oracle.
+
+For each (scheme, tp, pp) cell, a tiny :class:`ModelParallelBertClassifier`
+runs one forward/backward and the full recorded event stream is compared —
+as an exact multiset over ``(op, group, phase, scheme, wire_bytes, world,
+layer, site)`` — against expectations derived here from first principles:
+
+- every transformer layer has two ``g`` all-reduces (attention out, MLP
+  out) whose forward *and* backward messages cross the TP group, plus two
+  conjugate ``f`` backward all-reduces (§3.2);
+- every pipeline boundary carries one forward send and one backward send;
+- wire bytes follow the paper's fp16/int32 packing rules (§3.2/§3.3),
+  re-derived below *independently* of ``Compressor.compressed_bytes`` so a
+  regression in either the analytic formulas or the runtime routing
+  (wrong collective, double-logged event, dropped backward) shows up as a
+  multiset mismatch.
+
+The default matrix is schemes {w/o, T2, R2, Q2, A2} — the baseline plus
+one member of each compressed family — × layouts {tp=2 pp=1, tp=1 pp=2,
+tp=2 pp=2}.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EventKey",
+    "expected_events",
+    "observed_events",
+    "compare_event_streams",
+    "check_layout",
+    "run_spmd_check",
+    "DEFAULT_SCHEMES",
+    "DEFAULT_LAYOUTS",
+]
+
+DEFAULT_SCHEMES = ("w/o", "T2", "R2", "Q2", "A2")
+DEFAULT_LAYOUTS = ((2, 1), (1, 2), (2, 2))
+
+#: QuantizationCompressor's default grouping (elements per scale/zero pair).
+_QUANT_GROUP = 256
+_BYTES_FP16 = 2
+_BYTES_INT32 = 4
+
+#: family → the Compressor.name label the runtime stamps on events.
+_FAMILY_EVENT_SCHEME = {
+    "none": "none",
+    "ae": "autoencoder",
+    "topk": "topk",
+    "randomk": "randomk",
+    "quant": "quantization",
+}
+
+
+@dataclass(frozen=True)
+class EventKey:
+    """The comparable identity of one CommEvent."""
+
+    op: str
+    group: str
+    phase: str
+    scheme: str
+    wire_bytes: int
+    world: int
+    layer: int | None
+    site: str
+
+
+# ----------------------------------------------------------------------
+# Independent wire-byte oracle (intentionally duplicates the packing
+# arithmetic rather than calling Compressor.compressed_bytes).
+# ----------------------------------------------------------------------
+def _dense(n: int) -> int:
+    return n * _BYTES_FP16
+
+
+def _fwd_bytes(spec, shape: tuple[int, ...]) -> int:
+    n = int(np.prod(shape))
+    h = shape[-1]
+    if spec.family == "none":
+        return _dense(n)
+    if spec.family == "ae":
+        code_dim = max(2, round(spec.fraction * h))
+        return (n // h) * code_dim * _BYTES_FP16
+    if spec.family in ("topk", "randomk"):
+        k = max(1, int(round(spec.fraction * n)))
+        return k * (_BYTES_FP16 + _BYTES_INT32)
+    if spec.family == "quant":
+        groups = math.ceil(n / _QUANT_GROUP)
+        packed = groups * _QUANT_GROUP * spec.bits // 8
+        return packed + 2 * groups * _BYTES_FP16
+    raise ValueError(f"unknown family {spec.family!r}")
+
+
+def _bwd_bytes(spec, shape: tuple[int, ...]) -> int:
+    # §3.3: quantized backward stays dense fp16 (the backward engine only
+    # supports float gradients); every other scheme's backward message
+    # shrinks exactly like its forward one.
+    if spec.family == "quant":
+        return _dense(int(np.prod(shape)))
+    return _fwd_bytes(spec, shape)
+
+
+def _g_op(spec) -> str:
+    # AE messages are single float tensors → summable by all-reduce; the
+    # sparse/quantized messages ride the all-gather fallback (§3.2).
+    return "all_reduce" if spec.family in ("none", "ae") else "all_gather"
+
+
+# ----------------------------------------------------------------------
+def expected_events(config, batch: int, seq: int) -> Counter:
+    """Closed-form expected event multiset for one forward+backward."""
+    from repro.compression.notation import SCHEME_LABELS, scheme_spec
+    from repro.parallel.pipeline import PipelinePartition
+
+    spec = scheme_spec(config.scheme)
+    none_spec = SCHEME_LABELS["w/o"]
+    shape = (batch, seq, config.model.hidden)
+    n = int(np.prod(shape))
+    expected: Counter = Counter()
+
+    if config.tp > 1:
+        for layer in range(config.model.num_layers):
+            active = spec if (spec.family != "none"
+                              and config.policy.applies(layer)) else none_spec
+            name = _FAMILY_EVENT_SCHEME[active.family]
+            for site in ("attn", "mlp"):
+                # g op: forward collective + its tracked backward message.
+                expected[EventKey(_g_op(active), "tp", "forward", name,
+                                  _fwd_bytes(active, shape), config.tp, layer, site)] += 1
+                expected[EventKey(_g_op(active), "tp", "backward", name,
+                                  _bwd_bytes(active, shape), config.tp, layer, site)] += 1
+                # f op: identity forward, dense all-reduce in backward.
+                expected[EventKey("all_reduce", "tp", "backward", "none",
+                                  _dense(n), config.tp, layer, site)] += 1
+
+    partition = PipelinePartition.balanced(config.model.num_layers, config.pp)
+    for b_idx, last_layer in enumerate(partition.boundaries()):
+        active = spec if (spec.family != "none"
+                          and config.policy.boundary_compressed(last_layer)) else none_spec
+        name = _FAMILY_EVENT_SCHEME[active.family]
+        site = f"boundary{b_idx}"
+        expected[EventKey("send", "pp", "forward", name,
+                          _fwd_bytes(active, shape), 2, last_layer, site)] += 1
+        expected[EventKey("send", "pp", "backward", name,
+                          _bwd_bytes(active, shape), 2, last_layer, site)] += 1
+    return expected
+
+
+def observed_events(tracker) -> Counter:
+    """Recorded tracker events as a comparable multiset."""
+    return Counter(
+        EventKey(e.op, e.group, e.phase, e.scheme, e.wire_bytes, e.world, e.layer, e.site)
+        for e in tracker.events
+    )
+
+
+def compare_event_streams(expected: Counter, actual: Counter) -> list[str]:
+    """Human-readable multiset differences (empty when streams match)."""
+    problems = []
+    for key in sorted(set(expected) | set(actual),
+                      key=lambda k: (k.group, k.phase, k.layer if k.layer is not None else -1,
+                                     k.site, k.op)):
+        want, got = expected.get(key, 0), actual.get(key, 0)
+        if want != got:
+            problems.append(f"{key}: expected {want} event(s), observed {got}")
+    return problems
+
+
+def check_layout(scheme: str, tp: int, pp: int, *, batch: int = 2, seq: int = 8,
+                 seed: int = 0) -> list[str]:
+    """Run one (scheme, tp, pp) cell and diff its event stream."""
+    from repro.nn.transformer import TransformerConfig
+    from repro.parallel.runtime import ModelParallelBertClassifier, ModelParallelConfig
+
+    model_cfg = TransformerConfig(vocab_size=60, max_seq_len=16, hidden=32,
+                                  num_layers=4, num_heads=4, dropout=0.0)
+    config = ModelParallelConfig(model_cfg, tp=tp, pp=pp, scheme=scheme, seed=seed)
+    model = ModelParallelBertClassifier(config)
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, model_cfg.vocab_size, size=(batch, seq))
+    model.loss(ids, np.zeros(batch, dtype=np.int64)).backward()
+    problems = compare_event_streams(
+        expected_events(config, batch, seq), observed_events(model.tracker)
+    )
+    return [f"scheme {scheme!r} tp={tp} pp={pp}: {p}" for p in problems]
+
+
+def run_spmd_check(
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES,
+    layouts: tuple[tuple[int, int], ...] = DEFAULT_LAYOUTS,
+) -> list[str]:
+    """Full matrix check; returns all mismatches (empty means consistent)."""
+    problems: list[str] = []
+    for scheme in schemes:
+        for tp, pp in layouts:
+            problems.extend(check_layout(scheme, tp, pp))
+    return problems

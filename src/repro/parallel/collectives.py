@@ -27,7 +27,18 @@ from repro.compression.base import BYTES_FP16, Compressor
 from repro.compression.autoencoder import AutoencoderCompressor
 from repro.tensor import Tensor
 
-__all__ = ["CommEvent", "CommTracker", "tp_all_reduce", "tp_broadcast", "pipeline_transfer"]
+__all__ = [
+    "CommEvent",
+    "CommTracker",
+    "dense_bytes",
+    "tp_all_reduce",
+    "tp_broadcast",
+    "pipeline_transfer",
+]
+
+_VALID_OPS = frozenset({"all_reduce", "all_gather", "send"})
+_VALID_GROUPS = frozenset({"tp", "pp"})
+_VALID_PHASES = frozenset({"forward", "backward"})
 
 
 @dataclass(frozen=True)
@@ -43,6 +54,25 @@ class CommEvent:
     shape: tuple[int, ...]  # uncompressed activation shape
     layer: int | None = None
     site: str = ""
+
+    def __post_init__(self):
+        # Event invariants: a malformed event corrupts the simulator's byte
+        # accounting silently, so reject it at construction.
+        if self.op not in _VALID_OPS:
+            raise ValueError(f"unknown op {self.op!r}; valid: {sorted(_VALID_OPS)}")
+        if self.group not in _VALID_GROUPS:
+            raise ValueError(f"unknown group {self.group!r}; valid: {sorted(_VALID_GROUPS)}")
+        if self.phase not in _VALID_PHASES:
+            raise ValueError(f"unknown phase {self.phase!r}; valid: {sorted(_VALID_PHASES)}")
+        if self.wire_bytes < 0:
+            raise ValueError(f"wire_bytes must be >= 0, got {self.wire_bytes}")
+        if self.world < 2:
+            raise ValueError(f"a collective needs world >= 2, got {self.world}")
+        # Note: wire_bytes may legitimately exceed the dense payload for
+        # quantization of tiny tensors (group padding), so no upper bound.
+
+    _FIELDS = frozenset({"op", "group", "phase", "scheme", "wire_bytes",
+                         "world", "shape", "layer", "site"})
 
 
 class CommTracker:
@@ -61,7 +91,18 @@ class CommTracker:
 
     # ------------------------------------------------------------------
     def filtered(self, **criteria) -> list[CommEvent]:
-        """Events matching all given attribute=value criteria."""
+        """Events matching all given attribute=value criteria.
+
+        Unknown attribute names are rejected up front with a ``ValueError``
+        (rather than an ``AttributeError`` surfacing mid-comprehension), so
+        a typo like ``filtered(phse="forward")`` cannot read as "0 events".
+        """
+        unknown = set(criteria) - CommEvent._FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown CommEvent attribute(s) {sorted(unknown)}; "
+                f"valid: {sorted(CommEvent._FIELDS)}"
+            )
         out = self.events
         for key, value in criteria.items():
             out = [e for e in out if getattr(e, key) == value]
@@ -74,12 +115,31 @@ class CommTracker:
     def count(self, **criteria) -> int:
         return len(self.filtered(**criteria))
 
+    def summary(self) -> dict[tuple[str, str, str], int]:
+        """Total wire bytes grouped by ``(group, phase, scheme)``.
+
+        The natural shape for eyeballing one iteration: e.g.
+        ``{("tp", "forward", "autoencoder"): 1920, ...}``.
+        """
+        out: dict[tuple[str, str, str], int] = {}
+        for e in self.events:
+            key = (e.group, e.phase, e.scheme)
+            out[key] = out.get(key, 0) + e.wire_bytes
+        return out
+
     def __repr__(self) -> str:
         return f"CommTracker(events={len(self.events)}, bytes={self.total_bytes()})"
 
 
-def _dense_bytes(shape: tuple[int, ...]) -> int:
+def dense_bytes(shape: tuple[int, ...]) -> int:
+    """Wire size of an uncompressed fp16 activation of ``shape``.
+
+    The reference payload every compressed message is judged against; also
+    used by :mod:`repro.lint.spmd_check` when validating event streams.
+    """
     return int(np.prod(shape)) * BYTES_FP16
+
+
 
 
 def tp_broadcast(x: Tensor, world: int, tracker: CommTracker, *, layer: int | None = None,
@@ -103,7 +163,7 @@ def tp_broadcast(x: Tensor, world: int, tracker: CommTracker, *, layer: int | No
                 group="tp",
                 phase="backward",
                 scheme="none",
-                wire_bytes=_dense_bytes(shape),
+                wire_bytes=dense_bytes(shape),
                 world=world,
                 shape=shape,
                 layer=layer,
@@ -152,12 +212,12 @@ def tp_all_reduce(
     if _is_identity(compressor):
         out = _sum_tensors(partials)
         tracker.record(
-            CommEvent("all_reduce", "tp", "forward", "none", _dense_bytes(shape),
+            CommEvent("all_reduce", "tp", "forward", "none", dense_bytes(shape),
                       world, shape, layer, site)
         )
         return _with_backward_event(
             out, tracker,
-            CommEvent("all_reduce", "tp", "backward", "none", _dense_bytes(shape),
+            CommEvent("all_reduce", "tp", "backward", "none", dense_bytes(shape),
                       world, shape, layer, site),
         )
 

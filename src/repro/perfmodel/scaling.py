@@ -29,6 +29,11 @@ class WeakScalingConfig:
     num_nodes: int
     batch_size: int
 
+    def __post_init__(self):
+        for name in ("hidden", "num_layers", "num_nodes", "batch_size"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+
 
 #: The paper's Table 10 rows follow Narayanan et al. 2021's Table 1.
 MEGATRON_WEAK_SCALING: tuple[WeakScalingConfig, ...] = (

@@ -10,7 +10,24 @@ rule is written as straightforward vectorized NumPy so it can be checked
 against finite differences (see ``tests/tensor/test_grad_check.py``).
 """
 
-from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.tensor.tensor import (
+    Tensor,
+    no_grad,
+    is_grad_enabled,
+    tensor,
+    register_tensor_guard,
+    unregister_tensor_guard,
+    tensor_guard,
+)
 from repro.tensor import functional
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "functional"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "functional",
+    "register_tensor_guard",
+    "unregister_tensor_guard",
+    "tensor_guard",
+]

@@ -15,9 +15,49 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "unbroadcast"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "tensor",
+    "unbroadcast",
+    "register_tensor_guard",
+    "unregister_tensor_guard",
+    "tensor_guard",
+]
 
 _GRAD_ENABLED = True
+
+#: Optional sanitizer hooks (repro.lint.graph_check). Each guard is called
+#: with (array, context) for every op output and every backward gradient.
+#: Empty in normal operation so the hot path pays one truthiness check.
+_TENSOR_GUARDS: list[Callable[[np.ndarray, str], None]] = []
+
+
+def register_tensor_guard(fn: Callable[[np.ndarray, str], None]) -> Callable:
+    """Install ``fn(array, context)`` to run on every op output / gradient."""
+    _TENSOR_GUARDS.append(fn)
+    return fn
+
+
+def unregister_tensor_guard(fn: Callable[[np.ndarray, str], None]) -> None:
+    """Remove a guard previously installed with :func:`register_tensor_guard`."""
+    _TENSOR_GUARDS.remove(fn)
+
+
+@contextlib.contextmanager
+def tensor_guard(fn: Callable[[np.ndarray, str], None]):
+    """Context manager installing a guard for the duration of the block."""
+    register_tensor_guard(fn)
+    try:
+        yield fn
+    finally:
+        unregister_tensor_guard(fn)
+
+
+def _run_guards(data: np.ndarray, context: str) -> None:
+    for fn in _TENSOR_GUARDS:
+        fn(data, context)
 
 
 @contextlib.contextmanager
@@ -103,6 +143,8 @@ class Tensor:
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Create an op output wired into the graph (internal)."""
+        if _TENSOR_GUARDS:
+            _run_guards(data, "forward")
         out = Tensor.__new__(Tensor)
         out.data = data
         out.grad = None
@@ -182,6 +224,8 @@ class Tensor:
         for p, pg in zip(self._parents, parent_grads):
             if pg is None or not p.requires_grad:
                 continue
+            if _TENSOR_GUARDS:
+                _run_guards(np.asarray(pg), "backward")
             pid = id(p)
             if p._backward is None and not p._parents:
                 # Leaf tensor: accumulate directly so grads persist.

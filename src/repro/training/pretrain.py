@@ -23,6 +23,14 @@ class PretrainConfig:
     max_grad_norm: float = 1.0
     micro_batches: int = 1  # gradient accumulation (global batch = bs × mb)
 
+    def __post_init__(self):
+        if self.steps <= 0 or self.batch_size <= 0 or self.micro_batches <= 0:
+            raise ValueError("steps, batch_size and micro_batches must be positive")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if not 0.0 <= self.warmup_frac <= 1.0:
+            raise ValueError(f"warmup_frac must be in [0, 1], got {self.warmup_frac}")
+
 
 def run_pretraining(model, corpus: MLMCorpus, config: PretrainConfig) -> list[float]:
     """Pre-train ``model`` (an MLM-headed BERT) on ``corpus``.

@@ -33,6 +33,16 @@ class TrainConfig:
     max_grad_norm: float = 1.0
     seed: int = 0
 
+    def __post_init__(self):
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if not 0.0 <= self.warmup_frac <= 1.0:
+            raise ValueError(f"warmup_frac must be in [0, 1], got {self.warmup_frac}")
+        if self.max_grad_norm <= 0:
+            raise ValueError(f"max_grad_norm must be positive, got {self.max_grad_norm}")
+
 
 class FineTuneTrainer:
     """Adam + linear-warmup trainer over a materialized dataset."""

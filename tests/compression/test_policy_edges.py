@@ -1,0 +1,106 @@
+"""CompressionPolicy edge cases and ModelParallelConfig validation."""
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressionPolicy
+from repro.nn.transformer import TransformerConfig
+from repro.parallel import ModelParallelBertClassifier, ModelParallelConfig
+
+
+def small_config(**kw):
+    defaults = dict(vocab_size=60, max_seq_len=16, hidden=32, num_layers=4,
+                    num_heads=4, dropout=0.0)
+    defaults.update(kw)
+    return TransformerConfig(**defaults)
+
+
+class TestCompressionPolicyEdges:
+    def test_empty_layer_set(self):
+        p = CompressionPolicy.none(8)
+        assert p.num_compressed == 0
+        assert p.fraction() == 0.0
+        assert not any(p.applies(i) for i in range(8))
+        assert not any(p.boundary_compressed(i) for i in range(8))
+
+    def test_all_layers(self):
+        p = CompressionPolicy.all(6)
+        assert p.fraction() == 1.0
+        assert all(p.applies(i) for i in range(6))
+
+    def test_last_boundary_never_compressed(self):
+        """The 'boundary' after the final layer does not exist, regardless of
+        the policy covering that layer."""
+        p = CompressionPolicy.all(4)
+        assert p.boundary_compressed(2)  # feeds layer 3, in policy
+        assert not p.boundary_compressed(3)  # no layer 4 to feed
+
+    def test_last_k_and_first_k_clamp(self):
+        assert CompressionPolicy.last_k(4, 99).num_compressed == 4
+        assert CompressionPolicy.last_k(4, 0).num_compressed == 0
+        assert CompressionPolicy.first_k(4, -3).num_compressed == 0
+
+    def test_window_clamps_to_model(self):
+        p = CompressionPolicy.window(4, start=3, count=10)
+        assert sorted(p.layers) == [3]
+
+    def test_out_of_range_layers_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CompressionPolicy(4, frozenset({4}))
+        with pytest.raises(ValueError, match="out of range"):
+            CompressionPolicy(4, frozenset({-1}))
+
+    def test_non_integer_layers_rejected(self):
+        with pytest.raises(ValueError, match="integers"):
+            CompressionPolicy(4, frozenset({2.5}))
+
+    def test_numpy_integer_layers_accepted(self):
+        p = CompressionPolicy(4, frozenset(np.arange(2, 4)))
+        assert sorted(p.layers) == [2, 3]
+
+    def test_nonpositive_num_layers_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            CompressionPolicy(0)
+
+
+class TestModelParallelConfigValidation:
+    def test_pp_equal_num_layers_is_one_layer_per_stage(self):
+        cfg = ModelParallelConfig(small_config(), tp=1, pp=4, scheme="A2")
+        model = ModelParallelBertClassifier(cfg)
+        assert model.backbone.partition.pp == 4
+        assert all(len(s) == 1 for s in model.backbone.partition.stages)
+        ids = np.random.default_rng(0).integers(0, 60, size=(2, 8))
+        model(ids)
+        # pp boundaries: 3 cut points, each logged once in forward.
+        assert model.tracker.count(group="pp", phase="forward") == 3
+
+    def test_boundary_compression_last_stage(self):
+        """Default last-half policy, pp == num_layers: the boundary feeding
+        the final (compressed) layer is compressed; earlier ones per policy."""
+        cfg = ModelParallelConfig(small_config(), tp=1, pp=4, scheme="A2")
+        model = ModelParallelBertClassifier(cfg)
+        ids = np.random.default_rng(0).integers(0, 60, size=(2, 8))
+        model(ids)
+        schemes = [e.scheme for e in
+                   model.tracker.filtered(group="pp", phase="forward")]
+        # policy = last_k(4, 2) = layers {2, 3}: boundary0 feeds layer 1
+        # (uncompressed), boundary1 feeds layer 2, boundary2 feeds layer 3.
+        assert schemes == ["none", "autoencoder", "autoencoder"]
+
+    def test_pp_exceeding_layers_rejected(self):
+        with pytest.raises(ValueError, match="pp cannot exceed"):
+            ModelParallelConfig(small_config(), pp=5)
+
+    def test_heads_not_divisible_by_tp_rejected(self):
+        with pytest.raises(ValueError, match="divisible by tp"):
+            ModelParallelConfig(small_config(), tp=3)
+
+    def test_policy_layer_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="policy num_layers"):
+            ModelParallelConfig(small_config(), policy=CompressionPolicy.none(8))
+
+    def test_default_policy_depends_on_scheme(self):
+        without = ModelParallelConfig(small_config(), scheme="w/o")
+        assert without.policy.num_compressed == 0
+        compressed = ModelParallelConfig(small_config(), scheme="A2")
+        assert sorted(compressed.policy.layers) == [2, 3]

@@ -1,0 +1,65 @@
+"""Tensor sanitizer hooks and the tiny-model graph check."""
+
+import numpy as np
+import pytest
+
+from repro.lint.graph_check import GraphCheckError, TensorSanitizer, run_graph_check
+from repro.tensor import Tensor, tensor_guard
+
+
+class TestTensorSanitizer:
+    def test_clean_ops_pass_and_are_counted(self):
+        s = TensorSanitizer()
+        with tensor_guard(s):
+            a = Tensor(np.ones((2, 3)), requires_grad=True)
+            (a * 2.0).sum().backward()
+        assert s.checked > 0
+
+    def test_nan_in_forward_raises_at_producing_op(self):
+        s = TensorSanitizer()
+        a = Tensor(np.array([1.0, 0.0]), requires_grad=True)
+        with tensor_guard(s), np.errstate(divide="ignore"):
+            with pytest.raises(GraphCheckError, match="non-finite"):
+                a.log()  # log(0) -> -inf
+        # The guard fired inside the op, so no poisoned tensor escaped.
+
+    def test_nan_in_backward_gradient_raises(self):
+        s = TensorSanitizer()
+        a = Tensor(np.array([0.0, 1.0]), requires_grad=True)
+        y = a.sqrt().sum()  # d sqrt/dx at 0 is inf
+        with tensor_guard(s), np.errstate(divide="ignore"):
+            with pytest.raises(GraphCheckError, match="backward"):
+                y.backward()
+
+    def test_inf_tolerated_when_disabled(self):
+        s = TensorSanitizer(forbid_inf=False, forbid_nan=False)
+        a = Tensor(np.array([1.0, 0.0]), requires_grad=True)
+        with tensor_guard(s), np.errstate(divide="ignore"):
+            a.log()
+
+    def test_off_policy_dtype_rejected(self):
+        s = TensorSanitizer(allowed_float_dtypes=(np.float32,))
+        a = Tensor(np.ones(3))
+        with tensor_guard(s):
+            with pytest.raises(GraphCheckError, match="dtype"):
+                Tensor._make(a.data.astype(np.float64), (a,), lambda g: (g,))
+
+    def test_integer_arrays_ignored(self):
+        s = TensorSanitizer(allowed_float_dtypes=(np.float32,))
+        s(np.arange(4), "forward")  # no raise
+
+    def test_guard_uninstalled_after_context(self):
+        s = TensorSanitizer()
+        with tensor_guard(s):
+            pass
+        before = s.checked
+        Tensor(np.ones(2), requires_grad=True).sum()
+        assert s.checked == before
+
+
+class TestRunGraphCheck:
+    def test_default_matrix_is_clean(self):
+        assert run_graph_check() == []
+
+    def test_single_scheme_subset(self):
+        assert run_graph_check(schemes=("A2",), tp=2, pp=1) == []

@@ -1,0 +1,86 @@
+"""SPMD consistency: closed-form oracle vs recorded CommEvent streams."""
+
+from collections import Counter
+
+import pytest
+
+from repro.lint.spmd_check import (
+    DEFAULT_LAYOUTS,
+    DEFAULT_SCHEMES,
+    EventKey,
+    check_layout,
+    compare_event_streams,
+    run_spmd_check,
+)
+
+
+@pytest.mark.parametrize("scheme", DEFAULT_SCHEMES)
+@pytest.mark.parametrize("tp,pp", DEFAULT_LAYOUTS)
+def test_event_stream_matches_oracle(scheme, tp, pp):
+    """Acceptance matrix: {w/o, topk, randomk, quant, ae} × three layouts."""
+    assert check_layout(scheme, tp, pp) == []
+
+
+def test_full_matrix_runner_is_clean():
+    assert run_spmd_check() == []
+
+
+def _key(phase="forward", wire_bytes=128):
+    return EventKey("all_reduce", "tp", phase, "none", wire_bytes, 2, 0, "attn")
+
+
+class TestCompareEventStreams:
+    def test_identical_streams_match(self):
+        c = Counter({_key(): 2})
+        assert compare_event_streams(c, c.copy()) == []
+
+    def test_double_counted_event_detected(self):
+        expected = Counter({_key(): 1})
+        actual = Counter({_key(): 2})
+        (msg,) = compare_event_streams(expected, actual)
+        assert "expected 1 event(s), observed 2" in msg
+
+    def test_dropped_backward_detected(self):
+        expected = Counter({_key(): 1, _key(phase="backward"): 1})
+        actual = Counter({_key(): 1})
+        (msg,) = compare_event_streams(expected, actual)
+        assert "backward" in msg and "observed 0" in msg
+
+    def test_wrong_bytes_detected_as_two_diffs(self):
+        expected = Counter({_key(wire_bytes=128): 1})
+        actual = Counter({_key(wire_bytes=96): 1})
+        msgs = compare_event_streams(expected, actual)
+        assert len(msgs) == 2  # missing the 128-byte event, extra 96-byte one
+
+
+class TestRegressionsAreCaught:
+    """Corrupt a real run's stream and verify the checker notices."""
+
+    def _run(self, scheme="A2", tp=2, pp=2):
+        import numpy as np
+
+        from repro.lint.spmd_check import expected_events, observed_events
+        from repro.nn.transformer import TransformerConfig
+        from repro.parallel.runtime import ModelParallelBertClassifier, ModelParallelConfig
+
+        model_cfg = TransformerConfig(vocab_size=60, max_seq_len=16, hidden=32,
+                                      num_layers=4, num_heads=4, dropout=0.0)
+        config = ModelParallelConfig(model_cfg, tp=tp, pp=pp, scheme=scheme)
+        model = ModelParallelBertClassifier(config)
+        ids = np.random.default_rng(0).integers(0, 60, size=(2, 8))
+        model.loss(ids, np.zeros(2, dtype=np.int64)).backward()
+        return expected_events(config, 2, 8), model.tracker
+
+    def test_injected_duplicate_event_flagged(self):
+        from repro.lint.spmd_check import compare_event_streams, observed_events
+
+        expected, tracker = self._run()
+        tracker.record(tracker.events[0])  # double-count regression
+        assert compare_event_streams(expected, observed_events(tracker))
+
+    def test_removed_event_flagged(self):
+        from repro.lint.spmd_check import compare_event_streams, observed_events
+
+        expected, tracker = self._run()
+        tracker.events.pop()  # dropped-message regression
+        assert compare_event_streams(expected, observed_events(tracker))

@@ -145,6 +145,44 @@ class TestCollectiveOps:
         tr.reset()
         assert tr.count() == 0
 
+    def test_filtered_rejects_unknown_attribute(self):
+        tr = CommTracker()
+        parts = [Tensor(np.zeros((2, 2), dtype=np.float32))] * 2
+        tp_all_reduce(parts, NoCompressor(), tr)
+        with pytest.raises(ValueError, match="unknown CommEvent attribute"):
+            tr.filtered(phse="forward")  # typo must not read as "0 events"
+        with pytest.raises(ValueError, match="wire_byte"):
+            tr.total_bytes(wire_byte=8)
+
+    def test_summary_groups_bytes(self):
+        tr = CommTracker()
+        parts = [Tensor(np.zeros((2, 2), dtype=np.float32), requires_grad=True)
+                 for _ in range(2)]
+        out = tp_all_reduce(parts, NoCompressor(), tr)
+        pipeline_transfer(out, NoCompressor(), tr, boundary=0)
+        out.sum().backward()
+        summary = tr.summary()
+        assert summary[("tp", "forward", "none")] == 8
+        assert summary[("tp", "backward", "none")] == 8
+        assert summary[("pp", "forward", "none")] == 8
+
+    def test_comm_event_invariants_enforced(self):
+        from repro.parallel.collectives import CommEvent
+
+        good = dict(op="all_reduce", group="tp", phase="forward", scheme="none",
+                    wire_bytes=8, world=2, shape=(2, 2))
+        CommEvent(**good)
+        with pytest.raises(ValueError, match="unknown op"):
+            CommEvent(**{**good, "op": "allreduce"})
+        with pytest.raises(ValueError, match="unknown group"):
+            CommEvent(**{**good, "group": "dp"})
+        with pytest.raises(ValueError, match="unknown phase"):
+            CommEvent(**{**good, "phase": "fwd"})
+        with pytest.raises(ValueError, match="wire_bytes"):
+            CommEvent(**{**good, "wire_bytes": -1})
+        with pytest.raises(ValueError, match="world"):
+            CommEvent(**{**good, "world": 1})
+
 
 class TestRuntimeCompression:
     def test_event_counts_per_forward(self):
