@@ -106,7 +106,7 @@ class AutoencoderCompressor(Compressor):
         """Differentiable decoder GEMM."""
         return code @ self.decoder
 
-    def apply(self, x: Tensor) -> Tensor:
+    def apply(self, x: Tensor, site: str = "default") -> Tensor:
         return self.decode(self.encode(x))
 
     def __repr__(self) -> str:

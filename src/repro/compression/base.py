@@ -101,8 +101,15 @@ class Compressor(abc.ABC):
         """Analytic wire size for an activation of ``shape`` (no data needed)."""
 
     @abc.abstractmethod
-    def apply(self, x: Tensor) -> Tensor:
-        """Differentiable compress→decompress for use inside the graph."""
+    def apply(self, x: Tensor, site: str = "default") -> Tensor:
+        """Differentiable compress→decompress for use inside the graph.
+
+        ``site`` identifies the activation site (layer, rank, pipeline
+        boundary) for *stateful* compressors: error feedback keeps one
+        residual per site, so two call sites sharing a compressor instance
+        must pass distinct keys or they clobber each other's state.
+        Stateless schemes ignore it.
+        """
 
     def backward_bytes(self, shape: tuple[int, ...]) -> int:
         """Wire size of the *backward* (gradient-of-activation) message.
@@ -160,7 +167,7 @@ class NoCompressor(Compressor):
     def compressed_bytes(self, shape: tuple[int, ...]) -> int:
         return int(np.prod(shape)) * BYTES_FP16
 
-    def apply(self, x: Tensor) -> Tensor:
+    def apply(self, x: Tensor, site: str = "default") -> Tensor:
         return x
 
 

@@ -82,7 +82,7 @@ class ErrorFeedbackCompressor(Compressor):
             )
         else:
             corrected = x
-        out = self.inner.apply(corrected)
+        out = self.inner.apply(corrected, site=site)
         self._residuals[site] = corrected.data - out.data
         return out
 

@@ -112,7 +112,7 @@ class PowerSGDCompressor(Compressor):
         r = min(self.rank, n, m)
         return (n * r + m * r) * BYTES_FP16
 
-    def apply(self, x: Tensor) -> Tensor:
+    def apply(self, x: Tensor, site: str = "default") -> Tensor:
         """Differentiable round-trip via a straight-through projection.
 
         The reconstruction ``P Qᵀ`` is a (data-dependent) projection of the

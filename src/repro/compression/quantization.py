@@ -79,10 +79,16 @@ class QuantizationCompressor(Compressor):
 
     # ------------------------------------------------------------------
     def _grouped(self, flat: np.ndarray) -> tuple[np.ndarray, int]:
-        """Pad and reshape a flat array into (groups, group_size)."""
+        """Pad and reshape a flat array into (groups, group_size).
+
+        Padding repeats the final element (edge mode): zero padding would
+        pull the last group's min/max toward 0, inflating its quantization
+        step — and thus the per-element error bound — whenever the real
+        values sit far from zero.
+        """
         pad = (-flat.size) % self.group_size
         if pad:
-            flat = np.concatenate([flat, np.zeros(pad, dtype=flat.dtype)])
+            flat = np.pad(flat, (0, pad), mode="edge")
         return flat.reshape(-1, self.group_size), pad
 
     def _quantize(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -133,7 +139,7 @@ class QuantizationCompressor(Compressor):
         n = int(np.prod(shape))
         return n * BYTES_FP16
 
-    def apply(self, x: Tensor) -> Tensor:
+    def apply(self, x: Tensor, site: str = "default") -> Tensor:
         out_data = self.roundtrip(x.data).astype(x.data.dtype)
 
         def backward(g):

@@ -87,7 +87,7 @@ class RandomKCompressor(Compressor):
         k = self._k(int(np.prod(shape)))
         return k * (BYTES_FP16 + BYTES_INT32)
 
-    def apply(self, x: Tensor) -> Tensor:
+    def apply(self, x: Tensor, site: str = "default") -> Tensor:
         idx = self._select(x.data.size)
         mask = np.zeros(x.data.size, dtype=bool)
         mask[idx] = True

@@ -84,7 +84,7 @@ class TopKCompressor(Compressor):
         k = self._k(int(np.prod(shape)))
         return k * (BYTES_FP16 + BYTES_INT32)
 
-    def apply(self, x: Tensor) -> Tensor:
+    def apply(self, x: Tensor, site: str = "default") -> Tensor:
         mask = topk_mask(x.data, self._k(x.data.size))
         out_data = x.data * mask
 

@@ -19,6 +19,7 @@ import numpy as np
 from repro.compression import CompressionPolicy
 from repro.data.pretraining import MLMCorpus
 from repro.data.tasks import GLUE_TASKS, glue_score
+from repro.obs.metrics import NULL_RECORDER, RunRecorder
 from repro.parallel import ModelParallelBertPreTraining, ModelParallelConfig
 from repro.training.finetune import default_accuracy_model, finetune_on_task
 from repro.training.pretrain import PretrainConfig, run_pretraining
@@ -76,6 +77,7 @@ def pretrain_backbone(
     seed: int = 0,
     tp: int = 2,
     pp: int = 2,
+    recorder: RunRecorder = NULL_RECORDER,
 ) -> dict[str, np.ndarray]:
     """MLM-pre-train a backbone (cached per configuration).
 
@@ -83,9 +85,12 @@ def pretrain_backbone(
     exactly as during fine-tuning; the returned state dict excludes AE
     parameters, matching the paper's Table 8 workflow of discarding the
     AE when handing the checkpoint to fine-tuning.
+
+    Passing an enabled ``recorder`` bypasses the backbone cache so the run
+    actually executes (and gets recorded).
     """
     key = (scheme, steps, seed, tp, pp)
-    if key in _BACKBONE_CACHE:
+    if key in _BACKBONE_CACHE and not recorder.enabled:
         return _BACKBONE_CACHE[key]
     cfg = default_accuracy_model(seed=seed, num_layers=NUM_LAYERS)
     model = ModelParallelBertPreTraining(
@@ -94,7 +99,8 @@ def pretrain_backbone(
                             seed=seed)
     )
     corpus = MLMCorpus(seq_len=cfg.max_seq_len // 2, seed=seed)
-    run_pretraining(model, corpus, PretrainConfig(steps=steps, batch_size=32, lr=1e-3))
+    run_pretraining(model, corpus, PretrainConfig(steps=steps, batch_size=32, lr=1e-3),
+                    recorder=recorder)
     state = model.backbone_state_dict()
     _BACKBONE_CACHE[key] = state
     return state

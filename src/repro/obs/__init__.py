@@ -1,0 +1,33 @@
+"""Observability: run telemetry, compression-fidelity metrics, trace export.
+
+- :mod:`repro.obs.metrics` — :class:`RunRecorder` step-scoped telemetry
+  with JSONL/CSV sinks (:data:`NULL_RECORDER` is the free default).
+- :mod:`repro.obs.fidelity` — :class:`FidelityProbe`, attached to a
+  ``CommTracker``, records per-site reconstruction error / realized
+  ratio / EF-residual norms from inside the collectives.
+- :mod:`repro.obs.trace` — Chrome-trace (Perfetto) export of recorded
+  runs and of simulated GPipe iterations.
+- ``python -m repro.obs report run.jsonl`` — terminal report of a run.
+"""
+
+from repro.obs.fidelity import FidelityProbe, FidelityRecord
+from repro.obs.metrics import NULL_RECORDER, NullRecorder, RunRecorder, load_jsonl
+from repro.obs.trace import (
+    simulated_iteration_trace,
+    trace_from_run,
+    validate_against_breakdown,
+    write_trace,
+)
+
+__all__ = [
+    "RunRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "load_jsonl",
+    "FidelityProbe",
+    "FidelityRecord",
+    "trace_from_run",
+    "simulated_iteration_trace",
+    "validate_against_breakdown",
+    "write_trace",
+]

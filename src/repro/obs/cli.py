@@ -1,0 +1,187 @@
+"""``python -m repro.obs`` — report on recorded runs, produce smoke runs.
+
+Usage::
+
+    python -m repro.obs report runs/smoke-T2.jsonl [--trace out.json]
+    python -m repro.obs smoke --outdir runs [--schemes T2 R2 Q2 A2]
+                              [--task RTE] [--epochs 1] [--batch-size 32]
+    python -m repro.obs sim-trace --out sim.json [--scheme A2]
+                                  [--tp 2] [--pp 2] [--microbatches 4]
+
+``report`` prints a per-run summary (gauges, phase timers, per-site
+compression fidelity when a sidecar ``*.fidelity.json`` exists) from a
+JSONL file written by :meth:`~repro.obs.metrics.RunRecorder.to_jsonl`.
+
+``smoke`` runs one short recorded fine-tune per scheme and writes, per
+scheme, ``smoke-<scheme>.jsonl`` / ``.csv`` / ``.trace.json`` /
+``.fidelity.json`` — the artifact set CI uploads.
+
+``sim-trace`` exports the simulated GPipe iteration of one Table-4
+setting as a Chrome trace (open in Perfetto or ``chrome://tracing``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.experiments.report import format_table
+from repro.obs.fidelity import FidelityProbe
+from repro.obs.metrics import RunRecorder, load_jsonl
+from repro.obs.trace import simulated_iteration_trace, trace_from_run, write_trace
+
+__all__ = ["main"]
+
+#: One representative scheme per compressor family (topk/randomk/quant/ae).
+SMOKE_SCHEMES = ["T2", "R2", "Q2", "A2"]
+
+
+def _summarize(meta: dict, records: list[dict]) -> str:
+    lines = [f"run: {meta.get('run_id', '?')}  steps: {len(records)}"]
+    extra = {k: v for k, v in meta.items() if k not in ("type", "run_id")}
+    if extra:
+        lines.append("meta: " + ", ".join(f"{k}={v}" for k, v in sorted(extra.items())))
+    wall = sum(r.get("wall_ms") or 0.0 for r in records)
+    lines.append(f"wall: {wall:.1f} ms")
+
+    gauges: dict[str, list[float]] = {}
+    timers: dict[str, float] = {}
+    for r in records:
+        for name, value in r.get("gauges", {}).items():
+            gauges.setdefault(name, []).append(value)
+        for name, value in r.get("timers_ms", {}).items():
+            timers[name] = timers.get(name, 0.0) + value
+    if gauges:
+        rows = [
+            {"gauge": name, "first": vals[0], "last": vals[-1],
+             "mean": sum(vals) / len(vals), "min": min(vals), "max": max(vals)}
+            for name, vals in sorted(gauges.items())
+        ]
+        lines.append("")
+        lines.append(format_table(rows, title="Gauges"))
+    if timers:
+        rows = [
+            {"phase": name, "total_ms": total,
+             "share_%": 100.0 * total / max(wall, 1e-9)}
+            for name, total in sorted(timers.items(), key=lambda kv: -kv[1])
+        ]
+        lines.append("")
+        lines.append(format_table(rows, title="Phase timers"))
+    return "\n".join(lines)
+
+
+def _fidelity_table(per_site: dict) -> str:
+    rows = [
+        {"site": site, **{k: (v if v is not None else "-") for k, v in agg.items()}}
+        for site, agg in sorted(per_site.items())
+    ]
+    return format_table(rows, title="Compression fidelity (per site)")
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    meta, records = load_jsonl(args.run)
+    print(_summarize(meta, records))
+    sidecar = os.path.splitext(args.run)[0] + ".fidelity.json"
+    if os.path.exists(sidecar):
+        with open(sidecar, "r", encoding="utf-8") as fh:
+            fidelity = json.load(fh)
+        print()
+        print(_fidelity_table(fidelity.get("per_site", {})))
+    if args.trace:
+        write_trace(trace_from_run(records, meta), args.trace)
+        print(f"\ntrace written to {args.trace}")
+    return 0
+
+
+def cmd_smoke(args: argparse.Namespace) -> int:
+    # Imported here: training pulls in the full model stack, which `report`
+    # (the common path) should not pay for.
+    from repro.training.finetune import finetune_on_task
+    from repro.training.trainer import TrainConfig
+
+    os.makedirs(args.outdir, exist_ok=True)
+    written: list[str] = []
+    for scheme in args.schemes:
+        recorder = RunRecorder(
+            run_id=f"smoke-{scheme}",
+            meta={"task": args.task, "scheme": scheme, "tp": 2, "pp": 2},
+        )
+        probe = FidelityProbe()
+        result = finetune_on_task(
+            args.task,
+            scheme=scheme,
+            tp=2,
+            pp=2,
+            train_config=TrainConfig(epochs=args.epochs, lr=1e-3, seed=0,
+                                     batch_size=args.batch_size),
+            seed=0,
+            recorder=recorder,
+            probe=probe,
+        )
+        stem = os.path.join(args.outdir, f"smoke-{scheme}")
+        written.append(recorder.to_jsonl(stem + ".jsonl"))
+        written.append(recorder.to_csv(stem + ".csv"))
+        written.append(write_trace(
+            trace_from_run(recorder.records, {"run_id": recorder.run_id, **recorder.meta}),
+            stem + ".trace.json",
+        ))
+        with open(stem + ".fidelity.json", "w", encoding="utf-8") as fh:
+            json.dump(probe.to_json(), fh, indent=2)
+        written.append(stem + ".fidelity.json")
+        print(f"{scheme}: {len(recorder.records)} steps, "
+              f"{len(probe.records)} fidelity records over "
+              f"{len(probe.sites())} sites, primary={result.primary:.2f}")
+    print("wrote:")
+    for path in written:
+        print(f"  {path}")
+    return 0
+
+
+def cmd_sim_trace(args: argparse.Namespace) -> int:
+    from repro.parallel.topology import ClusterTopology
+    from repro.simulator.iteration import SimSetting
+
+    setting = SimSetting(
+        ClusterTopology.p3_8xlarge(), args.tp, args.pp, args.batch, args.seq,
+        num_microbatches=args.microbatches, scheme=args.scheme,
+    )
+    write_trace(simulated_iteration_trace(setting), args.out)
+    print(f"simulated {args.scheme} TP={args.tp} PP={args.pp} trace -> {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs",
+                                     description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_report = sub.add_parser("report", help="summarize a recorded run")
+    p_report.add_argument("run", help="path to a RunRecorder JSONL file")
+    p_report.add_argument("--trace", help="also export a Chrome trace to this path")
+    p_report.set_defaults(fn=cmd_report)
+
+    p_smoke = sub.add_parser("smoke", help="run short recorded fine-tunes")
+    p_smoke.add_argument("--outdir", default="runs")
+    p_smoke.add_argument("--task", default="RTE")
+    p_smoke.add_argument("--schemes", nargs="+", default=SMOKE_SCHEMES)
+    p_smoke.add_argument("--epochs", type=int, default=1)
+    p_smoke.add_argument("--batch-size", type=int, default=32)
+    p_smoke.set_defaults(fn=cmd_smoke)
+
+    p_sim = sub.add_parser("sim-trace", help="export a simulated GPipe iteration trace")
+    p_sim.add_argument("--out", default="sim-trace.json")
+    p_sim.add_argument("--scheme", default="A2")
+    p_sim.add_argument("--tp", type=int, default=2)
+    p_sim.add_argument("--pp", type=int, default=2)
+    p_sim.add_argument("--batch", type=int, default=16)
+    p_sim.add_argument("--seq", type=int, default=512)
+    p_sim.add_argument("--microbatches", type=int, default=4)
+    p_sim.set_defaults(fn=cmd_sim_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,121 @@
+"""Per-site compression-fidelity metrics.
+
+AQ-SGD (Wang et al., 2022) and Rudakov et al. (2024) show that the
+*reconstruction error injected at each compression site* — not the wire
+ratio — is the quantity that predicts downstream accuracy loss.  This
+module records exactly that: a :class:`FidelityProbe` attached to a
+:class:`~repro.parallel.collectives.CommTracker` receives, from inside
+``tp_all_reduce`` and ``pipeline_transfer``, the dense activation and its
+reconstruction at every compressed site, and logs
+
+- the relative L2 reconstruction error ``||x - x̂|| / ||x||``,
+- the realized compression ratio ``dense_bytes / wire_bytes``, and
+- the error-feedback residual norm, when the compressor keeps one.
+
+Probes are opt-in: a tracker without one costs a single ``is None`` check
+per collective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FidelityRecord", "FidelityProbe"]
+
+
+@dataclass(frozen=True)
+class FidelityRecord:
+    """One compression round-trip observed at one site."""
+
+    site: str  # e.g. "layer2.mlp.rank0" or "boundary0"
+    scheme: str  # Compressor.name label, e.g. "topk" or "ef(topk)"
+    group: str  # "tp" | "pp"
+    rel_l2_error: float
+    dense_bytes: int
+    wire_bytes: int
+    residual_norm: float | None = None  # error-feedback residual, if any
+
+    @property
+    def ratio(self) -> float:
+        """Realized compression ratio (>1 means the wire message is smaller)."""
+        return self.dense_bytes / max(self.wire_bytes, 1)
+
+
+def _rel_l2(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    denom = float(np.linalg.norm(original))
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(original - reconstructed)) / denom
+
+
+class FidelityProbe:
+    """Accumulates :class:`FidelityRecord` entries across one or more steps."""
+
+    def __init__(self):
+        self.records: list[FidelityRecord] = []
+
+    def observe(
+        self,
+        *,
+        site: str,
+        scheme: str,
+        group: str,
+        original: np.ndarray,
+        reconstructed: np.ndarray,
+        wire_bytes: int,
+        dense_bytes: int,
+        residual: np.ndarray | None = None,
+    ) -> FidelityRecord:
+        """Record one round-trip; called from the collectives."""
+        record = FidelityRecord(
+            site=site,
+            scheme=scheme,
+            group=group,
+            rel_l2_error=_rel_l2(np.asarray(original), np.asarray(reconstructed)),
+            dense_bytes=int(dense_bytes),
+            wire_bytes=int(wire_bytes),
+            residual_norm=float(np.linalg.norm(residual)) if residual is not None else None,
+        )
+        self.records.append(record)
+        return record
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    def sites(self) -> list[str]:
+        """Distinct site labels in observation order."""
+        seen: dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.site, None)
+        return list(seen)
+
+    def per_site(self) -> dict[str, dict]:
+        """Aggregate metrics per site: mean/max error, mean ratio, count."""
+        grouped: dict[str, list[FidelityRecord]] = {}
+        for r in self.records:
+            grouped.setdefault(r.site, []).append(r)
+        out: dict[str, dict] = {}
+        for site, records in grouped.items():
+            errors = [r.rel_l2_error for r in records]
+            ratios = [r.ratio for r in records]
+            residuals = [r.residual_norm for r in records if r.residual_norm is not None]
+            out[site] = {
+                "scheme": records[-1].scheme,
+                "group": records[-1].group,
+                "count": len(records),
+                "rel_l2_error_mean": float(np.mean(errors)),
+                "rel_l2_error_max": float(np.max(errors)),
+                "ratio_mean": float(np.mean(ratios)),
+                "residual_norm_last": residuals[-1] if residuals else None,
+            }
+        return out
+
+    def to_json(self) -> dict:
+        """JSON-serializable dump (per-site aggregates + record count)."""
+        return {"records": len(self.records), "per_site": self.per_site()}
+
+    def __repr__(self) -> str:
+        return f"FidelityProbe(records={len(self.records)}, sites={len(self.sites())})"

@@ -1,0 +1,255 @@
+"""Run telemetry: step-scoped timers, counters and gauges with JSONL/CSV sinks.
+
+A :class:`RunRecorder` accumulates one record per training step.  Within a
+step the caller sets *gauges* (instantaneous values: loss, grad-norm, lr),
+bumps *counters* (monotonic totals: tokens, samples) and wraps code regions
+in *timers* (phase wall-time: forward, backward, optimizer).  ``end_step``
+stamps the step's total wall time and freezes the record.
+
+Two sinks serialize a finished run: :meth:`RunRecorder.to_jsonl` (one JSON
+object per line, a ``meta`` header first) and :meth:`RunRecorder.to_csv`
+(flattened columns, one row per step).  :func:`load_jsonl` reads the JSONL
+form back; :mod:`repro.obs.trace` turns it into a Chrome trace.
+
+Untouched callers pay nothing: every recording entry point takes an
+optional recorder defaulting to :data:`NULL_RECORDER`, whose methods are
+no-ops (the timer context manager yields without reading the clock).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import csv
+import json
+import os
+import time
+from typing import Callable, Iterator
+
+__all__ = ["RunRecorder", "NullRecorder", "NULL_RECORDER", "load_jsonl"]
+
+
+class RunRecorder:
+    """Collects per-step metrics for one run.
+
+    Parameters
+    ----------
+    run_id:
+        Label stamped on the meta header (scheme, task, layout...).
+    meta:
+        Extra key/value context for the meta header.
+    clock:
+        Monotonic clock in seconds; injectable for deterministic tests.
+    """
+
+    enabled: bool = True
+
+    def __init__(
+        self,
+        run_id: str = "run",
+        meta: dict | None = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.run_id = run_id
+        self.meta = dict(meta) if meta else {}
+        self._clock = clock
+        self._t0 = clock()
+        self.records: list[dict] = []
+        self._current: dict | None = None
+        self._step_start = 0.0
+        self._next_step = 0
+
+    # ------------------------------------------------------------------
+    # Step lifecycle
+    # ------------------------------------------------------------------
+    def start_step(self, step: int | None = None) -> None:
+        """Open a new step record (implicitly closing an unfinished one)."""
+        if self._current is not None:
+            self.end_step()
+        now = self._clock()
+        index = step if step is not None else self._next_step
+        self._next_step = index + 1
+        self._step_start = now
+        self._current = {
+            "step": index,
+            "t_start_ms": (now - self._t0) * 1e3,
+            "wall_ms": None,
+            "gauges": {},
+            "counters": {},
+            "timers_ms": {},
+        }
+
+    def end_step(self) -> dict:
+        """Close the open step, stamping its wall time; returns the record."""
+        if self._current is None:
+            raise RuntimeError("end_step() without a matching start_step()")
+        record = self._current
+        record["wall_ms"] = (self._clock() - self._step_start) * 1e3
+        self.records.append(record)
+        self._current = None
+        return record
+
+    @contextlib.contextmanager
+    def step(self, step: int | None = None) -> Iterator[None]:
+        """``with recorder.step():`` — start/end pair as a context."""
+        self.start_step(step)
+        try:
+            yield
+        finally:
+            self.end_step()
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def _open(self) -> dict:
+        if self._current is None:
+            self.start_step()
+        return self._current
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set an instantaneous value for this step (last write wins)."""
+        self._open()["gauges"][name] = float(value)
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a per-step counter."""
+        counters = self._open()["counters"]
+        counters[name] = counters.get(name, 0) + n
+
+    @contextlib.contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Accumulate the wrapped region's wall time into ``timers_ms``."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            timers = self._open()["timers_ms"]
+            timers[name] = timers.get(name, 0.0) + (self._clock() - start) * 1e3
+
+    # ------------------------------------------------------------------
+    # Sinks
+    # ------------------------------------------------------------------
+    def _meta_record(self) -> dict:
+        return {"type": "meta", "run_id": self.run_id, **self.meta}
+
+    def to_jsonl(self, path: str) -> str:
+        """Write the meta header + one JSON line per step; returns ``path``."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self._meta_record()) + "\n")
+            for record in self.records:
+                fh.write(json.dumps({"type": "step", **record}) + "\n")
+        return path
+
+    def to_csv(self, path: str) -> str:
+        """Write one flattened row per step; returns ``path``.
+
+        Columns are the union over steps: ``gauge.*``, ``counter.*`` and
+        ``timer_ms.*`` prefixes keep the three instrument kinds apart.
+        """
+        columns = ["step", "t_start_ms", "wall_ms"]
+        extras: list[str] = []
+        for record in self.records:
+            for prefix, group in (("gauge", "gauges"), ("counter", "counters"),
+                                  ("timer_ms", "timers_ms")):
+                for name in record[group]:
+                    col = f"{prefix}.{name}"
+                    if col not in extras:
+                        extras.append(col)
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=columns + sorted(extras))
+            writer.writeheader()
+            for record in self.records:
+                row = {k: record[k] for k in columns}
+                for prefix, group in (("gauge", "gauges"), ("counter", "counters"),
+                                      ("timer_ms", "timers_ms")):
+                    for name, value in record[group].items():
+                        row[f"{prefix}.{name}"] = value
+                writer.writerow(row)
+        return path
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Aggregates over the run: per-gauge last/mean, per-timer totals."""
+        gauges: dict[str, list[float]] = {}
+        timers: dict[str, float] = {}
+        counters: dict[str, int] = {}
+        wall = 0.0
+        for record in self.records:
+            wall += record["wall_ms"] or 0.0
+            for name, value in record["gauges"].items():
+                gauges.setdefault(name, []).append(value)
+            for name, value in record["timers_ms"].items():
+                timers[name] = timers.get(name, 0.0) + value
+            for name, value in record["counters"].items():
+                counters[name] = counters.get(name, 0) + value
+        return {
+            "run_id": self.run_id,
+            "steps": len(self.records),
+            "wall_ms": wall,
+            "gauges": {
+                name: {"last": vals[-1], "mean": sum(vals) / len(vals),
+                       "min": min(vals), "max": max(vals)}
+                for name, vals in gauges.items()
+            },
+            "timers_ms": timers,
+            "counters": counters,
+        }
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(run_id={self.run_id!r}, steps={len(self.records)})"
+
+
+class NullRecorder(RunRecorder):
+    """No-op recorder: the default for every instrumented call site.
+
+    Methods neither read the clock nor allocate records, so threading a
+    recorder through a hot loop costs one attribute lookup per call.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(run_id="null", clock=lambda: 0.0)
+
+    def start_step(self, step: int | None = None) -> None:
+        return None
+
+    def end_step(self) -> dict:
+        return {}
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    @contextlib.contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        yield
+
+
+#: Shared no-op instance used as the default recorder everywhere.
+NULL_RECORDER = NullRecorder()
+
+
+def load_jsonl(path: str) -> tuple[dict, list[dict]]:
+    """Read a run written by :meth:`RunRecorder.to_jsonl`.
+
+    Returns ``(meta, step_records)``; files without a meta header (or with
+    interleaved non-step lines) are tolerated.
+    """
+    meta: dict = {}
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("type") == "meta":
+                meta = obj
+            elif obj.get("type") == "step" or "step" in obj:
+                records.append(obj)
+    return meta, records

@@ -1,0 +1,264 @@
+"""Chrome-trace / Perfetto JSON export of recorded and simulated runs.
+
+Two producers share one event format (the Trace Event Format's complete
+``"X"`` slices, timestamps in microseconds, loadable in Perfetto or
+``chrome://tracing``):
+
+- :func:`trace_from_run` renders a :class:`~repro.obs.metrics.RunRecorder`
+  JSONL run — one slice per step plus the per-phase timers, and a counter
+  track per gauge (loss, grad-norm, lr).
+- :func:`simulated_iteration_trace` renders the GPipe schedule of one
+  :class:`~repro.simulator.SimSetting` — one track per pipeline stage with
+  per-microbatch forward/backward boxes, TP collective slices, encode/
+  decode kernel slices and per-boundary sends, so a Table-4 row becomes a
+  visual timeline.
+
+:func:`validate_against_breakdown` closes the loop: it recomputes every
+:class:`~repro.simulator.IterationBreakdown` column from the trace's
+slices (categories sum; compute phases contribute their makespan) and
+returns the per-column absolute differences, which the test suite pins to
+1e-6 ms.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.simulator.calibration import CALIBRATION, Calibration
+from repro.simulator.iteration import IterationBreakdown, IterationSimulator, SimSetting
+
+__all__ = [
+    "trace_from_run",
+    "simulated_iteration_trace",
+    "validate_against_breakdown",
+    "write_trace",
+]
+
+_MS_TO_US = 1000.0
+
+
+class _TraceBuilder:
+    """Allocates named tracks and accumulates trace events."""
+
+    def __init__(self, process: str):
+        self.events: list[dict] = []
+        self._tids: dict[str, int] = {}
+        self.pid = 1
+        self.events.append({
+            "ph": "M", "pid": self.pid, "tid": 0, "name": "process_name",
+            "args": {"name": process},
+        })
+
+    def tid(self, track: str) -> int:
+        if track not in self._tids:
+            tid = len(self._tids) + 1
+            self._tids[track] = tid
+            self.events.append({
+                "ph": "M", "pid": self.pid, "tid": tid, "name": "thread_name",
+                "args": {"name": track},
+            })
+        return self._tids[track]
+
+    def slice(self, track: str, name: str, cat: str, ts_ms: float, dur_ms: float,
+              args: dict | None = None) -> None:
+        if dur_ms <= 0.0:
+            return
+        event = {
+            "ph": "X", "pid": self.pid, "tid": self.tid(track), "name": name,
+            "cat": cat, "ts": ts_ms * _MS_TO_US, "dur": dur_ms * _MS_TO_US,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def counter(self, track: str, name: str, ts_ms: float, value: float) -> None:
+        self.events.append({
+            "ph": "C", "pid": self.pid, "tid": self.tid(track), "name": name,
+            "ts": ts_ms * _MS_TO_US, "args": {name: value},
+        })
+
+    def build(self, meta: dict | None = None) -> dict:
+        trace = {"traceEvents": self.events, "displayTimeUnit": "ms"}
+        if meta:
+            trace["otherData"] = meta
+        return trace
+
+
+# ----------------------------------------------------------------------
+# Recorded runs
+# ----------------------------------------------------------------------
+def trace_from_run(records: list[dict], meta: dict | None = None) -> dict:
+    """Chrome trace of a recorded run (step slices, phase timers, gauges).
+
+    ``records`` are step dicts as produced by
+    :meth:`~repro.obs.metrics.RunRecorder.to_jsonl` /
+    :func:`~repro.obs.metrics.load_jsonl`.
+    """
+    run_id = (meta or {}).get("run_id", "run")
+    b = _TraceBuilder(f"repro run: {run_id}")
+    for record in records:
+        start = record["t_start_ms"]
+        wall = record["wall_ms"] or 0.0
+        step = record["step"]
+        b.slice("steps", f"step {step}", "step", start, wall,
+                args={k: v for k, v in record["gauges"].items()})
+        cursor = start
+        for name, dur in record["timers_ms"].items():
+            b.slice("phases", name, name, cursor, dur)
+            cursor += dur
+        for name, value in record["gauges"].items():
+            b.counter(f"gauge:{name}", name, start, value)
+    return b.build(meta)
+
+
+# ----------------------------------------------------------------------
+# Simulated GPipe iterations
+# ----------------------------------------------------------------------
+def simulated_iteration_trace(
+    setting: SimSetting | IterationSimulator, cal: Calibration = CALIBRATION
+) -> dict:
+    """Chrome trace of one simulated GPipe iteration.
+
+    One compute track per pipeline stage (forward boxes left-to-right,
+    backward boxes in drain order), one collective track per stage, one
+    encode/decode track per compressed stage and one track per pipeline
+    boundary.  Slice categories mirror the :class:`IterationBreakdown`
+    columns so :func:`validate_against_breakdown` can re-derive them.
+    """
+    sim = setting if isinstance(setting, IterationSimulator) else IterationSimulator(setting, cal)
+    s = sim.s
+    m = s.num_microbatches
+    pp = s.pp
+    slots = m + pp - 1
+    fwd_stage, bwd_stage = sim.stage_compute_ms()
+    enc_mult, gpu_mult = sim.encdec_multipliers()
+    site = sim.site_cost()
+    compressed_scheme = sim.spec.family != "none"
+
+    b = _TraceBuilder(
+        f"simulated iteration: {s.scheme} TP={s.tp} PP={pp} "
+        f"b={s.micro_batch} s={s.seq} m={m}"
+    )
+    fwd_end = slots * fwd_stage  # forward region makespan
+    bwd_end = fwd_end + slots * bwd_stage
+
+    for st in range(pp):
+        compute = f"stage {st}"
+        for i in range(m):
+            b.slice(compute, f"F{i}", "forward_compute", (st + i) * fwd_stage, fwd_stage)
+            b.slice(compute, f"B{i}", "backward_compute",
+                    fwd_end + ((pp - 1 - st) + i) * bwd_stage, bwd_stage)
+
+        comm_track = f"stage {st} tp-comm"
+        fwd_cursor = st * fwd_stage
+        bwd_cursor = fwd_end + (pp - 1 - st) * bwd_stage
+        for layer in s.partition.layers_of(st):
+            comm_f = sim.tp_forward_comm_ms(sim.layer_compressed(layer))
+            comm_b = sim.tp_backward_comm_ms()
+            for i in range(m):
+                for tp_site in ("attn", "mlp"):
+                    b.slice(comm_track, f"g L{layer} {tp_site} mb{i}", "tensor_comm",
+                            fwd_cursor, comm_f)
+                    fwd_cursor += comm_f
+                    b.slice(comm_track, f"f L{layer} {tp_site} mb{i}", "backward_comm",
+                            bwd_cursor, comm_b)
+                    bwd_cursor += comm_b
+
+        encdec_track = f"stage {st} enc/dec"
+        enc_cursor = st * fwd_stage
+        for layer in s.partition.layers_of(st):
+            if not sim.layer_compressed(layer):
+                continue
+            for _ in range(2 * enc_mult):
+                b.slice(encdec_track, f"enc L{layer}", "encode", enc_cursor, site.encode_ms)
+                enc_cursor += site.encode_ms
+            for _ in range(2 * gpu_mult):
+                b.slice(encdec_track, f"dec L{layer}", "decode", enc_cursor, site.decode_ms)
+                enc_cursor += site.decode_ms
+            for _ in range(2 * gpu_mult):
+                b.slice(encdec_track, f"ae-bwd L{layer}", "ae_backward",
+                        enc_cursor, site.backward_ms)
+                enc_cursor += site.backward_ms
+
+    if pp > 1:
+        bcost = sim.boundary_site_cost()
+        for bd, last_layer in enumerate(s.partition.boundaries()):
+            track = f"boundary {bd}<->{bd + 1}"
+            fwd_send, bwd_send = sim.boundary_send_ms(bd)
+            for i in range(m):
+                b.slice(track, f"send mb{i}", "pipeline", (bd + i + 1) * fwd_stage, fwd_send)
+                b.slice(track, f"send-grad mb{i}", "pipeline",
+                        fwd_end + ((pp - 1 - bd) + i) * bwd_stage, bwd_send)
+            b.slice(track, "pipeline overhead", "pipeline", fwd_end,
+                    sim.cal.pipeline_overhead_ms)
+            if compressed_scheme and s.policy.boundary_compressed(last_layer):
+                cursor = (bd + 1) * fwd_stage
+                for _ in range(enc_mult):
+                    b.slice(track, "boundary enc", "encode", cursor, bcost.encode_ms)
+                    cursor += bcost.encode_ms
+                for _ in range(gpu_mult):
+                    b.slice(track, "boundary dec", "decode", cursor, bcost.decode_ms)
+                    cursor += bcost.decode_ms
+
+    b.slice("optimizer", "optimizer step", "optimizer", bwd_end, sim.cal.optimizer_ms)
+    return b.build({
+        "scheme": s.scheme, "tp": s.tp, "pp": pp, "micro_batch": s.micro_batch,
+        "seq": s.seq, "num_microbatches": m,
+    })
+
+
+def validate_against_breakdown(trace: dict, breakdown: IterationBreakdown) -> dict[str, float]:
+    """Absolute per-column difference between trace slices and a breakdown.
+
+    Column conventions follow Table 4's caption (see
+    :class:`IterationBreakdown`): the Forward column is forward-compute
+    *makespan* plus the forward collectives and enc/dec kernels; Backward
+    is backward-compute makespan plus the backward ``f`` all-reduces and
+    the AE's extra backward GEMMs; the remaining columns are plain sums of
+    their category's slices.
+    """
+    sums: dict[str, float] = {}
+    spans: dict[str, tuple[float, float]] = {}
+    for event in trace["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        cat = event.get("cat", "")
+        dur = event["dur"] / _MS_TO_US
+        sums[cat] = sums.get(cat, 0.0) + dur
+        start = event["ts"] / _MS_TO_US
+        lo, hi = spans.get(cat, (start, start + dur))
+        spans[cat] = (min(lo, start), max(hi, start + dur))
+
+    def total(cat: str) -> float:
+        return sums.get(cat, 0.0)
+
+    def makespan(cat: str) -> float:
+        if cat not in spans:
+            return 0.0
+        lo, hi = spans[cat]
+        return hi - lo
+
+    derived = {
+        "forward_ms": makespan("forward_compute") + total("tensor_comm")
+        + total("encode") + total("decode"),
+        "backward_ms": makespan("backward_compute") + total("backward_comm")
+        + total("ae_backward"),
+        "optimizer_ms": total("optimizer"),
+        "pipeline_ms": total("pipeline"),
+        "encode_ms": total("encode"),
+        "decode_ms": total("decode"),
+        "tensor_comm_ms": total("tensor_comm"),
+    }
+    return {
+        field: abs(derived[field] - getattr(breakdown, field)) for field in derived
+    }
+
+
+def write_trace(trace: dict, path: str) -> str:
+    """Serialize a trace dict to ``path`` (JSON); returns ``path``."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return path

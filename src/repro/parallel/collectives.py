@@ -76,10 +76,17 @@ class CommEvent:
 
 
 class CommTracker:
-    """Accumulates :class:`CommEvent` records for one or more iterations."""
+    """Accumulates :class:`CommEvent` records for one or more iterations.
 
-    def __init__(self, enabled: bool = True):
+    An optional :class:`~repro.obs.fidelity.FidelityProbe` may be attached
+    as ``probe``; the collectives then report each compressed site's dense
+    activation and reconstruction to it alongside the wire events.  The
+    default (``probe=None``) costs one ``is None`` check per collective.
+    """
+
+    def __init__(self, enabled: bool = True, probe=None):
         self.enabled = enabled
+        self.probe = probe
         self.events: list[CommEvent] = []
 
     def record(self, event: CommEvent) -> None:
@@ -232,6 +239,18 @@ def tp_all_reduce(
                       world, shape, layer, site)
         )
         out = compressor.decode(code_sum)
+        if tracker.probe is not None:
+            # AE compresses the *sum* (dec(Σ enc(xᵢ)) by linearity), so the
+            # meaningful error is measured on the reduced activation.
+            dense = partials[0].data.copy()
+            for p in partials[1:]:
+                dense = dense + p.data
+            tracker.probe.observe(
+                site=_site_label(site, layer),
+                scheme=compressor.name, group="tp",
+                original=dense, reconstructed=out.data,
+                wire_bytes=code_bytes, dense_bytes=dense_bytes(shape),
+            )
         return _with_backward_event(
             out, tracker,
             CommEvent("all_reduce", "tp", "backward", compressor.name,
@@ -239,8 +258,22 @@ def tp_all_reduce(
         )
 
     # All-gather path: each rank broadcasts its compressed message; every
-    # rank reconstructs and sums locally.
-    reconstructed = [compressor.apply(p) for p in partials]
+    # rank reconstructs and sums locally.  Each rank's partial is its own
+    # compression site: a stateful wrapper (error feedback) must keep one
+    # residual per rank, not clobber a shared "default" slot per call.
+    reconstructed = []
+    for r, p in enumerate(partials):
+        rank_site = _rank_site(site, layer, r)
+        rec = compressor.apply(p, site=rank_site)
+        reconstructed.append(rec)
+        if tracker.probe is not None:
+            tracker.probe.observe(
+                site=rank_site, scheme=compressor.name, group="tp",
+                original=p.data, reconstructed=rec.data,
+                wire_bytes=compressor.compressed_bytes(shape),
+                dense_bytes=dense_bytes(shape),
+                residual=_residual_of(compressor, rank_site),
+            )
     out = _sum_tensors(reconstructed)
     msg_bytes = compressor.compressed_bytes(shape)
     tracker.record(
@@ -276,7 +309,18 @@ def pipeline_transfer(
         CommEvent("send", "pp", "forward", scheme, fwd_bytes, 2, shape,
                   layer, f"boundary{boundary}")
     )
-    out = compressor.apply(x) if not _is_identity(compressor) else x
+    if _is_identity(compressor):
+        out = x
+    else:
+        boundary_site = f"boundary{boundary}"
+        out = compressor.apply(x, site=boundary_site)
+        if tracker.probe is not None:
+            tracker.probe.observe(
+                site=boundary_site, scheme=scheme, group="pp",
+                original=x.data, reconstructed=out.data,
+                wire_bytes=fwd_bytes, dense_bytes=dense_bytes(shape),
+                residual=_residual_of(compressor, boundary_site),
+            )
     return _with_backward_event(
         out, tracker,
         CommEvent("send", "pp", "backward", scheme, bwd_bytes, 2, shape,
@@ -285,8 +329,25 @@ def pipeline_transfer(
 
 
 # ----------------------------------------------------------------------
+def _site_label(site: str, layer: int | None) -> str:
+    """Fully-qualified label of one TP compression site."""
+    base = site or "default"
+    return f"layer{layer}.{base}" if layer is not None else base
+
+
+def _rank_site(site: str, layer: int | None, rank: int) -> str:
+    """Stable per-rank state key for one TP compression site."""
+    return f"{_site_label(site, layer)}.rank{rank}"
+
+
 def _is_identity(compressor: Compressor) -> bool:
     return compressor is None or compressor.name == "none"
+
+
+def _residual_of(compressor: Compressor, site: str):
+    """Error-feedback residual at ``site``, or None for stateless schemes."""
+    getter = getattr(compressor, "residual", None)
+    return getter(site) if callable(getter) else None
 
 
 def _sum_tensors(tensors: list[Tensor]) -> Tensor:

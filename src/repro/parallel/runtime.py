@@ -105,10 +105,25 @@ class _ModelParallelBackbone(Module):
         self._identity = NoCompressor()
 
     def _register_compressor_params(self) -> None:
+        # Enumerate with stable indices: an `is`-check against comp.encoder
+        # names every non-encoder parameter "decoder", so a compressor with
+        # a third parameter (or without an `encoder` attribute) registers
+        # colliding names and silently drops weights from state_dict().
         for key, comp in sorted(self._site_compressors.items()):
-            for p in comp.parameters():
-                suffix = "encoder" if p is getattr(comp, "encoder", None) else "decoder"
-                self.add_parameter(f"compressor.{key}.{suffix}", p)
+            for i, p in enumerate(comp.parameters()):
+                if p is getattr(comp, "encoder", None):
+                    suffix = "encoder"
+                elif p is getattr(comp, "decoder", None):
+                    suffix = "decoder"
+                else:
+                    suffix = f"param{i}"
+                name = f"compressor.{key}.{suffix}"
+                if name in self._parameters:
+                    raise ValueError(
+                        f"duplicate compressor parameter name {name!r} "
+                        f"(site {key!r}, parameter index {i})"
+                    )
+                self.add_parameter(name, p)
 
     # ------------------------------------------------------------------
     def site_compressor(self, key: str) -> Compressor:

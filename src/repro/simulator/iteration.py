@@ -204,6 +204,38 @@ class IterationSimulator:
         )
 
     # ------------------------------------------------------------------
+    # Schedule ingredients (shared with repro.obs.trace)
+    # ------------------------------------------------------------------
+    def stage_compute_ms(self) -> tuple[float, float]:
+        """(forward, backward) compute of one stage for one microbatch."""
+        s = self.s
+        layer_fwd = self.layer_forward_compute_ms()
+        layer_ew = self.layer_elementwise_ms()
+        per_stage = s.model.num_layers / s.pp
+        fwd = (layer_fwd + layer_ew) * per_stage
+        bwd = (self.cal.backward_ratio * layer_fwd + layer_ew) * per_stage
+        return fwd, bwd
+
+    def encdec_multipliers(self) -> tuple[int, int]:
+        """(encode, decode/ae-backward) kernel multiplicities per site.
+
+        GPU-side encode/decode kernels hide in pipeline stalls once several
+        microbatches are in flight (see Calibration); the CPU-blocking
+        Random-K sampler cannot, so its encode count stays per-microbatch.
+        """
+        s, cal = self.s, self.cal
+        m = s.num_microbatches
+        overlapped = m > 1 and cal.overlap_encdec_with_pipeline
+        gpu_mult = 1 if overlapped else m
+        enc_mult = m if self.spec.family == "randomk" else gpu_mult
+        return enc_mult, gpu_mult
+
+    def layer_compressed(self, layer: int) -> bool:
+        """Whether ``layer``'s two TP collectives run through the compressor."""
+        s = self.s
+        return self.spec.family != "none" and s.tp > 1 and s.policy.applies(layer)
+
+    # ------------------------------------------------------------------
     # Composition
     # ------------------------------------------------------------------
     def breakdown(self) -> IterationBreakdown:
@@ -212,38 +244,25 @@ class IterationSimulator:
         slots = m + s.pp - 1
         compressed_scheme = self.spec.family != "none"
 
-        fwd_compute_stage = 0.0  # per microbatch, averaged stage
-        bwd_compute_stage = 0.0
         fwd_comm_total = 0.0  # per iteration, all layers, all microbatches
         bwd_comm_total = 0.0
         enc_total = 0.0
         dec_total = 0.0
         ae_bwd_total = 0.0
 
-        layer_fwd = self.layer_forward_compute_ms()
-        layer_ew = self.layer_elementwise_ms()
         site = self.site_cost()
         L = s.model.num_layers
-
-        # GPU-side encode/decode kernels hide in pipeline stalls once
-        # several microbatches are in flight (see Calibration); the
-        # CPU-blocking Random-K sampler cannot.
-        overlapped = m > 1 and cal.overlap_encdec_with_pipeline
-        gpu_mult = 1 if overlapped else m
-        enc_mult = m if self.spec.family == "randomk" else gpu_mult
+        enc_mult, gpu_mult = self.encdec_multipliers()
 
         for layer in range(L):
-            layer_compressed = (
-                compressed_scheme and s.tp > 1 and s.policy.applies(layer)
-            )
+            layer_compressed = self.layer_compressed(layer)
             fwd_comm_total += 2 * m * self.tp_forward_comm_ms(layer_compressed)
             bwd_comm_total += 2 * m * self.tp_backward_comm_ms()
             if layer_compressed:
                 enc_total += 2 * enc_mult * site.encode_ms
                 dec_total += 2 * gpu_mult * site.decode_ms
                 ae_bwd_total += 2 * gpu_mult * site.backward_ms
-        fwd_compute_stage = (layer_fwd + layer_ew) * (L / s.pp)
-        bwd_compute_stage = (cal.backward_ratio * layer_fwd + layer_ew) * (L / s.pp)
+        fwd_compute_stage, bwd_compute_stage = self.stage_compute_ms()
 
         # Pipeline boundary sends + encode/decode at compressed boundaries.
         pipeline_ms = 0.0

@@ -9,13 +9,30 @@ import numpy as np
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
 
+def _npz_path(path: str) -> str:
+    """The on-disk path ``np.savez`` actually writes for ``path``.
+
+    ``np.savez`` appends ``.npz`` when the suffix is missing, so both save
+    and load must normalize the same way or a round-trip through a bare
+    ``"ckpt"`` path raises ``FileNotFoundError``.
+    """
+    return path if path.endswith(".npz") else path + ".npz"
+
+
 def save_checkpoint(state: dict[str, np.ndarray], path: str) -> None:
     """Write a state dict to ``path`` (npz). Dotted names are preserved."""
+    path = _npz_path(path)
     os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
     np.savez(path, **state)
 
 
 def load_checkpoint(path: str) -> dict[str, np.ndarray]:
-    """Load a state dict written by :func:`save_checkpoint`."""
+    """Load a state dict written by :func:`save_checkpoint`.
+
+    Accepts the same ``path`` that was passed to :func:`save_checkpoint`,
+    with or without the ``.npz`` suffix.
+    """
+    if not os.path.exists(path):
+        path = _npz_path(path)
     with np.load(path) as data:
         return {k: data[k].copy() for k in data.files}

@@ -10,6 +10,8 @@ from repro.compression import CompressionPolicy
 from repro.data.tasks import GLUE_TASKS, make_task
 from repro.data.topics import TopicModel
 from repro.nn.transformer import TransformerConfig
+from repro.obs.fidelity import FidelityProbe
+from repro.obs.metrics import NULL_RECORDER, RunRecorder
 from repro.parallel import ModelParallelBertClassifier, ModelParallelConfig
 from repro.training.trainer import FineTuneTrainer, TrainConfig, evaluate_task
 
@@ -69,6 +71,8 @@ def finetune_on_task(
     seed: int = 0,
     num_layers: int = 4,
     backbone_state: dict[str, np.ndarray] | None = None,
+    recorder: RunRecorder = NULL_RECORDER,
+    probe: FidelityProbe | None = None,
 ) -> FinetuneResult:
     """Fine-tune a fresh (or pre-trained) MP model on one synthetic GLUE task.
 
@@ -77,6 +81,13 @@ def finetune_on_task(
     backbone_state:
         Optional pre-trained backbone weights (AE params are ignored on
         load — the Table 8 workflow).
+    recorder:
+        Optional :class:`~repro.obs.metrics.RunRecorder` capturing per-step
+        loss / lr / grad-norm and phase timings (no-op by default).
+    probe:
+        Optional :class:`~repro.obs.fidelity.FidelityProbe`; when given it
+        is attached to the model's :class:`CommTracker` and receives every
+        compressed round-trip at every TP site and PP boundary.
     """
     spec = GLUE_TASKS[task_name]
     model_cfg = default_accuracy_model(
@@ -88,12 +99,14 @@ def finetune_on_task(
     model = ModelParallelBertClassifier(mp_cfg, regression=spec.regression)
     if backbone_state is not None:
         model.load_backbone(backbone_state)
+    if probe is not None:
+        model.tracker.probe = probe
 
     train, evals = make_task(task_name, topics=topics, seq_len=model_cfg.max_seq_len // 2,
                              seed=seed)
     if train_config is None:
         train_config = TrainConfig(epochs=spec.epochs, lr=1e-3, seed=seed)
-    trainer = FineTuneTrainer(model, train_config)
+    trainer = FineTuneTrainer(model, train_config, recorder=recorder)
     history = trainer.train(train)
 
     scores = {

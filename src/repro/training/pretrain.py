@@ -7,6 +7,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.pretraining import MLMCorpus
+from repro.obs.metrics import NULL_RECORDER, RunRecorder
 from repro.optim import Adam, WarmupLinearLR
 
 __all__ = ["PretrainConfig", "run_pretraining"]
@@ -32,7 +33,12 @@ class PretrainConfig:
             raise ValueError(f"warmup_frac must be in [0, 1], got {self.warmup_frac}")
 
 
-def run_pretraining(model, corpus: MLMCorpus, config: PretrainConfig) -> list[float]:
+def run_pretraining(
+    model,
+    corpus: MLMCorpus,
+    config: PretrainConfig,
+    recorder: RunRecorder = NULL_RECORDER,
+) -> list[float]:
     """Pre-train ``model`` (an MLM-headed BERT) on ``corpus``.
 
     ``micro_batches > 1`` performs gradient accumulation, the numerics of
@@ -48,18 +54,24 @@ def run_pretraining(model, corpus: MLMCorpus, config: PretrainConfig) -> list[fl
     history: list[float] = []
     model.train()
     for _ in range(config.steps):
-        optimizer.zero_grad()
-        step_loss = 0.0
-        for _ in range(config.micro_batches):
-            batch = corpus.batch(config.batch_size)
-            loss = model.loss(batch.input_ids, batch.labels, batch.attention_mask)
-            if config.micro_batches > 1:
-                loss = loss * (1.0 / config.micro_batches)
-            loss.backward()
-            step_loss += loss.item()
-        if config.max_grad_norm:
-            optimizer.clip_grad_norm(config.max_grad_norm)
-        optimizer.step()
-        schedule.step()
-        history.append(step_loss)
+        with recorder.step():
+            optimizer.zero_grad()
+            step_loss = 0.0
+            for _ in range(config.micro_batches):
+                batch = corpus.batch(config.batch_size)
+                with recorder.timer("forward"):
+                    loss = model.loss(batch.input_ids, batch.labels, batch.attention_mask)
+                if config.micro_batches > 1:
+                    loss = loss * (1.0 / config.micro_batches)
+                with recorder.timer("backward"):
+                    loss.backward()
+                step_loss += loss.item()
+                recorder.count("samples", config.batch_size)
+            with recorder.timer("optimizer"):
+                if config.max_grad_norm:
+                    recorder.gauge("grad_norm", optimizer.clip_grad_norm(config.max_grad_norm))
+                optimizer.step()
+            recorder.gauge("lr", schedule.step())
+            recorder.gauge("loss", step_loss)
+            history.append(step_loss)
     return history

@@ -16,6 +16,7 @@ import numpy as np
 from repro.data.loaders import batch_iter
 from repro.data.metrics import METRICS
 from repro.data.tasks import GlueDataset
+from repro.obs.metrics import NULL_RECORDER, RunRecorder
 from repro.optim import Adam, WarmupLinearLR
 from repro.tensor import no_grad
 
@@ -47,15 +48,17 @@ class TrainConfig:
 class FineTuneTrainer:
     """Adam + linear-warmup trainer over a materialized dataset."""
 
-    def __init__(self, model, config: TrainConfig):
+    def __init__(self, model, config: TrainConfig, recorder: RunRecorder = NULL_RECORDER):
         self.model = model
         self.config = config
         self.optimizer = Adam(model.parameters(), lr=config.lr)
         self.history: list[float] = []
+        self.recorder = recorder
 
     def train(self, dataset: GlueDataset) -> list[float]:
         """Run the configured number of epochs; returns per-step losses."""
         cfg = self.config
+        rec = self.recorder
         steps_per_epoch = max(1, int(np.ceil(len(dataset) / cfg.batch_size)))
         total_steps = steps_per_epoch * cfg.epochs
         schedule = WarmupLinearLR(
@@ -67,14 +70,22 @@ class FineTuneTrainer:
         self.model.train()
         for _ in range(cfg.epochs):
             for batch in batch_iter(dataset, cfg.batch_size, rng=rng):
-                self.optimizer.zero_grad()
-                loss = self.model.loss(batch.input_ids, batch.labels, batch.attention_mask)
-                loss.backward()
-                if cfg.max_grad_norm:
-                    self.optimizer.clip_grad_norm(cfg.max_grad_norm)
-                self.optimizer.step()
-                schedule.step()
-                self.history.append(loss.item())
+                with rec.step():
+                    self.optimizer.zero_grad()
+                    with rec.timer("forward"):
+                        loss = self.model.loss(batch.input_ids, batch.labels,
+                                               batch.attention_mask)
+                    with rec.timer("backward"):
+                        loss.backward()
+                    with rec.timer("optimizer"):
+                        if cfg.max_grad_norm:
+                            grad_norm = self.optimizer.clip_grad_norm(cfg.max_grad_norm)
+                            rec.gauge("grad_norm", grad_norm)
+                        self.optimizer.step()
+                    rec.gauge("lr", schedule.step())
+                    rec.gauge("loss", loss.item())
+                    rec.count("samples", len(batch.labels))
+                    self.history.append(loss.item())
         return self.history
 
 

@@ -1,0 +1,83 @@
+"""Per-site state regressions: EF residual aliasing, quant group padding."""
+
+import numpy as np
+import pytest
+
+from repro.compression import QuantizationCompressor, TopKCompressor
+from repro.compression.error_feedback import ErrorFeedbackCompressor
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(11)
+
+
+class TestErrorFeedbackSiteIsolation:
+    """An EF wrapper shared across sites (TP ranks, PP boundaries) must keep
+    one residual per site; a single shared slot silently feeds rank 0's
+    compression error into rank 1's next message."""
+
+    def test_compress_keeps_residuals_apart(self):
+        ef = ErrorFeedbackCompressor(TopKCompressor(0.5))
+        a = RNG.normal(size=(4, 8)).astype(np.float32)
+        b = RNG.normal(size=(4, 8)).astype(np.float32)
+        ef.compress(a, site="rank0")
+        ef.compress(b, site="rank1")
+        ra, rb = ef.residual("rank0"), ef.residual("rank1")
+        assert ra is not None and rb is not None
+        # rank0's residual is exactly a - D(C(a)): untouched by rank1's call.
+        expected_a = a - ef.inner.decompress(ef.inner.compress(a))
+        np.testing.assert_allclose(ra, expected_a, rtol=1e-6)
+        assert not np.allclose(ra, rb)
+
+    def test_apply_keeps_residuals_apart(self):
+        ef = ErrorFeedbackCompressor(TopKCompressor(0.5))
+        a = Tensor(RNG.normal(size=(4, 8)).astype(np.float32))
+        b = Tensor(RNG.normal(size=(4, 8)).astype(np.float32))
+        out_a = ef.apply(a, site="s0")
+        ef.apply(b, site="s1")
+        np.testing.assert_allclose(ef.residual("s0"), a.data - out_a.data, rtol=1e-6)
+
+    def test_second_step_uses_own_sites_residual(self):
+        """Feeding the same input twice at one site must incorporate that
+        site's residual — and only that site's."""
+        ef = ErrorFeedbackCompressor(TopKCompressor(0.5))
+        x = RNG.normal(size=(4, 8)).astype(np.float32)
+        noise = RNG.normal(size=(4, 8)).astype(np.float32) * 100.0
+        ef.compress(x, site="mine")
+        r1 = ef.residual("mine").copy()
+        ef.compress(noise, site="other")  # must not disturb "mine"
+        msg = ef.compress(x, site="mine")
+        # Second message at "mine" compresses x + r1, not x + residual(other).
+        expected = ef.inner.decompress(ef.inner.compress(x + r1))
+        np.testing.assert_allclose(ef.inner.decompress(msg), expected, rtol=1e-6)
+
+    def test_reset_clears_all_sites(self):
+        ef = ErrorFeedbackCompressor(TopKCompressor(0.5))
+        ef.compress(RNG.normal(size=(2, 4)).astype(np.float32), site="a")
+        ef.compress(RNG.normal(size=(2, 4)).astype(np.float32), site="b")
+        ef.reset()
+        assert ef.residual("a") is None and ef.residual("b") is None
+
+
+class TestQuantPartialGroupPadding:
+    """Zero-padding a partial group pulled its min/max toward 0, inflating the
+    quantization step — edge-padding must keep the group's true range."""
+
+    def test_partial_group_error_bounded_by_true_range(self):
+        q = QuantizationCompressor(bits=2, group_size=4)
+        x = np.array([1.0, 2.0], dtype=np.float32)  # one partial group
+        err = np.abs(q.roundtrip(x) - x).max()
+        step = (2.0 - 1.0) / (2**2 - 1)  # range of the *actual* values
+        assert err <= step / 2 + 1e-6
+
+    def test_padding_values_do_not_leak_into_range(self):
+        q = QuantizationCompressor(bits=8, group_size=256)
+        x = np.full(300, 5.0, dtype=np.float32)  # groups of 256 + 44
+        np.testing.assert_allclose(q.roundtrip(x), x, atol=1e-5)
+
+    @pytest.mark.parametrize("n", [1, 3, 255, 257])
+    def test_error_bound_across_partial_sizes(self, n):
+        q = QuantizationCompressor(bits=4, group_size=256)
+        x = (RNG.normal(size=n).astype(np.float32) + 10.0)  # offset from 0
+        err = np.abs(q.roundtrip(x) - x).max()
+        span = float(x.max() - x.min())
+        assert err <= span / (2**4 - 1) / 2 + 1e-5

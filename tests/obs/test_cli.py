@@ -1,0 +1,73 @@
+"""python -m repro.obs: report, smoke and sim-trace subcommands."""
+
+import json
+
+from repro.obs.cli import main
+from repro.obs.metrics import RunRecorder
+
+
+def make_jsonl(tmp_path):
+    rec = RunRecorder(run_id="cli-test", meta={"scheme": "T2"})
+    for loss in (2.0, 1.0):
+        with rec.step():
+            rec.gauge("loss", loss)
+            with rec.timer("forward"):
+                pass
+    return rec.to_jsonl(str(tmp_path / "run.jsonl"))
+
+
+class TestReport:
+    def test_prints_summary(self, tmp_path, capsys):
+        assert main(["report", make_jsonl(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out
+        assert "loss" in out and "forward" in out
+
+    def test_trace_export_flag(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "run.trace.json")
+        assert main(["report", make_jsonl(tmp_path), "--trace", trace_path]) == 0
+        with open(trace_path) as fh:
+            trace = json.load(fh)
+        assert trace["traceEvents"]
+
+    def test_reports_fidelity_sidecar(self, tmp_path, capsys):
+        run = make_jsonl(tmp_path)
+        sidecar = str(tmp_path / "run.fidelity.json")
+        with open(sidecar, "w") as fh:
+            json.dump({"records": 2, "per_site": {
+                "layer2.mlp.rank0": {"scheme": "topk", "group": "tp", "count": 2,
+                                     "rel_l2_error_mean": 0.5, "rel_l2_error_max": 0.6,
+                                     "ratio_mean": 8.0, "residual_norm_last": None},
+            }}, fh)
+        assert main(["report", run]) == 0
+        out = capsys.readouterr().out
+        assert "layer2.mlp.rank0" in out
+
+
+class TestSimTrace:
+    def test_writes_valid_trace(self, tmp_path, capsys):
+        out_path = str(tmp_path / "sim.json")
+        assert main(["sim-trace", "--out", out_path, "--scheme", "T2"]) == 0
+        with open(out_path) as fh:
+            trace = json.load(fh)
+        assert trace["displayTimeUnit"] == "ms"
+        assert any(e.get("ph") == "X" for e in trace["traceEvents"])
+
+
+class TestSmoke:
+    def test_single_scheme_smoke_produces_artifacts(self, tmp_path, capsys):
+        assert main(["smoke", "--outdir", str(tmp_path), "--schemes", "T2",
+                     "--epochs", "1", "--batch-size", "64"]) == 0
+        jsonl = tmp_path / "smoke-T2.jsonl"
+        csv_path = tmp_path / "smoke-T2.csv"
+        trace = tmp_path / "smoke-T2.trace.json"
+        fidelity = tmp_path / "smoke-T2.fidelity.json"
+        for path in (jsonl, csv_path, trace, fidelity):
+            assert path.exists(), path
+        with open(fidelity) as fh:
+            fid = json.load(fh)
+        assert fid["per_site"], "smoke run must yield per-site fidelity metrics"
+        # The run report works on what smoke wrote (incl. the sidecar).
+        assert main(["report", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "Compression fidelity" in out

@@ -1,0 +1,175 @@
+"""RunRecorder: step lifecycle, instruments, sinks, and the no-op default."""
+
+import csv
+import json
+
+import pytest
+
+from repro.obs.metrics import NULL_RECORDER, NullRecorder, RunRecorder, load_jsonl
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``tick`` seconds."""
+
+    def __init__(self, tick=0.010):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+
+def recorder(**kw):
+    return RunRecorder(run_id="test", clock=FakeClock(), **kw)
+
+
+class TestStepLifecycle:
+    def test_step_records_wall_time(self):
+        rec = recorder()
+        with rec.step():
+            pass
+        (r,) = rec.records
+        assert r["step"] == 0
+        assert r["wall_ms"] > 0
+
+    def test_steps_autonumber_and_accept_explicit_index(self):
+        rec = recorder()
+        with rec.step():
+            pass
+        with rec.step(10):
+            pass
+        with rec.step():
+            pass
+        assert [r["step"] for r in rec.records] == [0, 10, 11]
+
+    def test_start_step_closes_unfinished_step(self):
+        rec = recorder()
+        rec.start_step()
+        rec.start_step()
+        rec.end_step()
+        assert len(rec.records) == 2
+        assert all(r["wall_ms"] is not None for r in rec.records)
+
+    def test_end_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            recorder().end_step()
+
+    def test_instrument_outside_step_opens_one(self):
+        rec = recorder()
+        rec.gauge("loss", 1.0)
+        rec.end_step()
+        assert rec.records[0]["gauges"] == {"loss": 1.0}
+
+
+class TestInstruments:
+    def test_gauge_last_write_wins(self):
+        rec = recorder()
+        with rec.step():
+            rec.gauge("loss", 2.0)
+            rec.gauge("loss", 1.0)
+        assert rec.records[0]["gauges"]["loss"] == 1.0
+
+    def test_counter_accumulates(self):
+        rec = recorder()
+        with rec.step():
+            rec.count("samples", 32)
+            rec.count("samples", 32)
+        assert rec.records[0]["counters"]["samples"] == 64
+
+    def test_timer_accumulates_across_blocks(self):
+        rec = recorder()
+        with rec.step():
+            with rec.timer("forward"):
+                pass
+            with rec.timer("forward"):
+                pass
+        # FakeClock ticks 10 ms per read; two enter/exit pairs => 20 ms.
+        assert rec.records[0]["timers_ms"]["forward"] == pytest.approx(20.0)
+
+
+class TestSinks:
+    def test_jsonl_round_trip(self, tmp_path):
+        rec = recorder(meta={"scheme": "T2"})
+        with rec.step():
+            rec.gauge("loss", 0.5)
+            rec.count("samples", 8)
+            with rec.timer("forward"):
+                pass
+        path = rec.to_jsonl(str(tmp_path / "run.jsonl"))
+        meta, records = load_jsonl(path)
+        assert meta["run_id"] == "test" and meta["scheme"] == "T2"
+        (r,) = records
+        assert r["gauges"]["loss"] == 0.5
+        assert r["counters"]["samples"] == 8
+        assert r["timers_ms"]["forward"] > 0
+
+    def test_jsonl_lines_are_valid_json(self, tmp_path):
+        rec = recorder()
+        with rec.step():
+            rec.gauge("loss", 1.0)
+        path = rec.to_jsonl(str(tmp_path / "run.jsonl"))
+        with open(path) as fh:
+            lines = [json.loads(line) for line in fh]
+        assert lines[0]["type"] == "meta"
+        assert lines[1]["type"] == "step"
+
+    def test_csv_columns_are_union_over_steps(self, tmp_path):
+        rec = recorder()
+        with rec.step():
+            rec.gauge("loss", 1.0)
+        with rec.step():
+            rec.gauge("lr", 0.1)
+            rec.count("samples", 4)
+        path = rec.to_csv(str(tmp_path / "run.csv"))
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert {"step", "wall_ms", "gauge.loss", "gauge.lr", "counter.samples"} \
+            <= set(rows[0])
+        assert rows[0]["gauge.loss"] == "1.0"
+        assert rows[1]["gauge.lr"] == "0.1"
+
+    def test_load_jsonl_tolerates_missing_meta(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        path.write_text('{"step": 0, "t_start_ms": 0, "wall_ms": 1, '
+                        '"gauges": {}, "counters": {}, "timers_ms": {}}\n')
+        meta, records = load_jsonl(str(path))
+        assert meta == {}
+        assert len(records) == 1
+
+
+class TestSummary:
+    def test_aggregates(self):
+        rec = recorder()
+        for loss in (3.0, 2.0, 1.0):
+            with rec.step():
+                rec.gauge("loss", loss)
+                rec.count("samples", 8)
+                with rec.timer("forward"):
+                    pass
+        s = rec.summary()
+        assert s["steps"] == 3
+        assert s["gauges"]["loss"] == {"last": 1.0, "mean": 2.0, "min": 1.0, "max": 3.0}
+        assert s["counters"]["samples"] == 24
+        assert s["timers_ms"]["forward"] == pytest.approx(30.0)
+        assert s["wall_ms"] > 0
+
+
+class TestNullRecorder:
+    def test_is_disabled_and_records_nothing(self):
+        rec = NullRecorder()
+        assert not rec.enabled
+        with rec.step():
+            rec.gauge("loss", 1.0)
+            rec.count("samples", 1)
+            with rec.timer("forward"):
+                pass
+        assert rec.records == []
+
+    def test_shared_singleton(self):
+        assert isinstance(NULL_RECORDER, NullRecorder)
+        assert not NULL_RECORDER.enabled
+
+    def test_default_recorder_is_enabled(self):
+        assert RunRecorder().enabled

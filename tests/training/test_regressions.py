@@ -1,0 +1,56 @@
+"""Regression tests for state-corrupting edge cases in the training stack."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.training.checkpoint import load_checkpoint, save_checkpoint
+from repro.training.finetune import finetune_on_task
+from repro.training.trainer import TrainConfig
+
+
+class TestCheckpointSuffix:
+    """np.savez silently appends ``.npz`` to suffix-less paths; save and load
+    must normalize identically or a bare-path round-trip raises."""
+
+    def test_roundtrip_without_npz_suffix(self, tmp_path):
+        state = {"layer.w": np.arange(6, dtype=np.float32).reshape(2, 3)}
+        path = os.path.join(tmp_path, "ckpt")  # no .npz
+        save_checkpoint(state, path)
+        loaded = load_checkpoint(path)  # same bare path back
+        np.testing.assert_array_equal(loaded["layer.w"], state["layer.w"])
+
+    def test_bare_save_loadable_with_explicit_suffix(self, tmp_path):
+        state = {"b": np.ones(4, dtype=np.float32)}
+        path = os.path.join(tmp_path, "model")
+        save_checkpoint(state, path)
+        loaded = load_checkpoint(path + ".npz")
+        np.testing.assert_array_equal(loaded["b"], state["b"])
+
+    def test_suffixed_path_still_works(self, tmp_path):
+        state = {"x": np.zeros(2, dtype=np.float32)}
+        path = os.path.join(tmp_path, "full.npz")
+        save_checkpoint(state, path)
+        assert os.path.exists(path)  # no double suffix
+        assert set(load_checkpoint(path)) == {"x"}
+
+    def test_missing_checkpoint_still_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(os.path.join(tmp_path, "absent"))
+
+
+class TestRegressionTaskEvaluation:
+    def test_stsb_finetune_evaluates_with_spearman(self):
+        """STS-B is the regression task: a 1-output head scored by Spearman
+        correlation must flow through evaluate_task without the
+        classification argmax path mangling it."""
+        res = finetune_on_task(
+            "STS-B", "w/o", tp=1, pp=1, seed=0, num_layers=2,
+            train_config=TrainConfig(epochs=1, lr=1e-3, seed=0, batch_size=64),
+        )
+        assert res.task == "STS-B"
+        assert res.scores, "STS-B must produce at least one eval split score"
+        for score in res.scores.values():
+            assert np.isfinite(score)
+            assert -100.0 <= score <= 100.0  # Spearman ×100
