@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-dynamic check
+.PHONY: test lint lint-dynamic check bench bench-compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,3 +14,12 @@ lint-dynamic:
 
 # The merge gate: tier-1 tests plus the full static+dynamic lint.
 check: test lint-dynamic
+
+# Full pinned perf suite: BENCH_<sha>.json + merged Chrome trace in bench-out/.
+bench:
+	$(PYTHON) -m repro.bench run --out bench-out
+
+# CI-style smoke: quick run, then gate against the committed baseline.
+bench-compare:
+	$(PYTHON) -m repro.bench run --quick --out bench-out --no-trace
+	$(PYTHON) -m repro.bench compare --dir bench-out --baseline benchmarks/baseline.json

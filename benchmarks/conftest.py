@@ -4,23 +4,39 @@ Each benchmark regenerates one paper table/figure, prints it (so the
 captured bench output doubles as the reproduction record), and asserts the
 paper's *shape* claims — who wins, rough factors, crossovers — not absolute
 milliseconds (see EXPERIMENTS.md).
+
+Timing goes through :func:`repro.bench.timing.timed` (the same helper the
+``repro.bench`` suite uses): warmup + repeated rounds, median/IQR printed
+per test.  Table generators are deterministic, so re-running them only
+costs time; set ``REPRO_BENCH_ROUNDS=1 REPRO_BENCH_WARMUP=0`` to get the
+old time-it-once behaviour.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.bench.timing import timed
 
-def run_once(benchmark, fn, *args, **kwargs):
-    """Time ``fn`` exactly once through pytest-benchmark and return result."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+def run_timed(fn, *args, label: str = "", **kwargs):
+    """Time ``fn`` with the shared median helper and return its result."""
+    warmup = int(os.environ.get("REPRO_BENCH_WARMUP", "1"))
+    rounds = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+    timing = timed(fn, *args, warmup=warmup, rounds=rounds, **kwargs)
+    name = label or getattr(fn, "__name__", "fn")
+    print(f"\n[timed] {name}: median {timing.median_ms:.2f} ms "
+          f"(IQR {timing.iqr_ms:.2f} ms, rounds {timing.rounds})")
+    return timing.result
 
 
 @pytest.fixture
-def once(benchmark):
-    """Fixture form of :func:`run_once`."""
+def timed_run(request):
+    """Fixture form of :func:`run_timed`, labelled with the test name."""
 
     def _run(fn, *args, **kwargs):
-        return run_once(benchmark, fn, *args, **kwargs)
+        return run_timed(fn, *args, label=request.node.name, **kwargs)
 
     return _run

@@ -11,7 +11,7 @@ from repro.parallel.topology import ClusterTopology, LinkType
 from repro.simulator import SimSetting, allgather_time, allreduce_time
 
 
-def test_allgather_penalty_grows_with_world(once):
+def test_allgather_penalty_grows_with_world(timed_run):
     def run():
         spec = scheme_spec("T2")
         batch, seq, hidden = 32, 512, 1024
@@ -24,7 +24,7 @@ def test_allgather_penalty_grows_with_world(once):
                          "allreduce_ms": ar, "penalty": ag / ar})
         return rows
 
-    rows = once(run)
+    rows = timed_run(run)
     print("\nAblation — all-gather vs (counterfactual) all-reduce for T2's message:")
     for r in rows:
         print(f"  world={r['world']}: allgather {r['allgather_ms']:.3f} ms, "

@@ -39,13 +39,13 @@ def _cumulative_error(compressor, use_site=False):
     return float(np.linalg.norm(total_x - total_r) / np.linalg.norm(total_x))
 
 
-def test_error_feedback_reduces_cumulative_error(once):
+def test_error_feedback_reduces_cumulative_error(timed_run):
     def run():
         plain = _cumulative_error(TopKCompressor(0.1))
         ef = _cumulative_error(ErrorFeedbackCompressor(TopKCompressor(0.1)), use_site=True)
         return plain, ef
 
-    plain, ef = once(run)
+    plain, ef = timed_run(run)
     print(f"\nAblation — Top-K 10% cumulative-stream error: "
           f"plain {plain:.3f}, with error feedback {ef:.3f}")
     assert ef < plain * 0.6

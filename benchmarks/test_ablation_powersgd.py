@@ -12,7 +12,7 @@ from repro.analysis import collect_gradient_and_activation
 from repro.compression import AutoencoderCompressor, PowerSGDCompressor
 
 
-def test_powersgd_fails_on_activations(once):
+def test_powersgd_fails_on_activations(timed_run):
     def run():
         grad, act = collect_gradient_and_activation(batch=8, seq=16, seed=0)
         rows = []
@@ -26,7 +26,7 @@ def test_powersgd_fails_on_activations(once):
             rows.append({"rank": rank, "grad_err": grad_err, "act_err": act_err})
         return rows
 
-    rows = once(run)
+    rows = timed_run(run)
     print("\nAblation — PowerSGD relative reconstruction error:")
     for r in rows:
         print(f"  rank {r['rank']}: gradient {r['grad_err']:.3f}   "
@@ -38,7 +38,7 @@ def test_powersgd_fails_on_activations(once):
     assert rows[0]["act_err"] > rows[0]["grad_err"] + 0.2
 
 
-def test_trained_ae_beats_powersgd_on_activations(once):
+def test_trained_ae_beats_powersgd_on_activations(timed_run):
     """A *learned* linear code beats per-call power iteration at equal
     wire budget — why the paper's learning-based family wins."""
 
@@ -63,7 +63,7 @@ def test_trained_ae_beats_powersgd_on_activations(once):
         ae_err = ae.reconstruction_error(act)
         return psgd_err, ae_err
 
-    psgd_err, ae_err = once(run)
+    psgd_err, ae_err = timed_run(run)
     print(f"\nAblation — activation reconstruction at equal code size: "
           f"PowerSGD {psgd_err:.3f} vs trained AE {ae_err:.3f}")
     assert ae_err < psgd_err

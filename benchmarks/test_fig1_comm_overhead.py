@@ -3,8 +3,8 @@
 from repro.experiments import figure1_comm_overhead, format_table
 
 
-def test_fig1_comm_overhead(once):
-    rows = once(figure1_comm_overhead)
+def test_fig1_comm_overhead(timed_run):
+    rows = timed_run(figure1_comm_overhead)
     print("\n" + format_table(rows, title="Figure 1 — MP communication overhead (BERT-Large, TP=4, PCIe)"))
     # Shape: communication is a substantial fraction of iteration time at
     # the default fine-tuning setting (b=32, s=512).

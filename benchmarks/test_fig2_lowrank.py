@@ -5,8 +5,8 @@ import numpy as np
 from repro.experiments import figure2_lowrank
 
 
-def test_fig2_lowrank(once):
-    report = once(figure2_lowrank)
+def test_fig2_lowrank(timed_run):
+    report = timed_run(figure2_lowrank)
     g, a = report["gradient"], report["activation"]
     print("\nFigure 2 — cumulative singular-value mass (fraction of dims -> fraction of mass)")
     for frac in (0.1, 0.25, 0.5):

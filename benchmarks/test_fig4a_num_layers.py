@@ -3,8 +3,8 @@
 from repro.experiments import fig4a_num_layers, format_table
 
 
-def test_fig4a_num_layers(once):
-    rows = once(fig4a_num_layers)
+def test_fig4a_num_layers(timed_run):
+    rows = timed_run(fig4a_num_layers)
     print("\n" + format_table(rows, title="Figure 4a — score vs #final layers compressed (A2)"))
     # Takeaway 6: accuracy decreases as more layers are compressed.
     # Compare the uncompressed run with the all-layers run.

@@ -6,8 +6,8 @@ from repro.experiments import figure5_fit
 from repro.experiments.report import format_table
 
 
-def test_fig5_perfmodel_fit(once):
-    result = once(figure5_fit)
+def test_fig5_perfmodel_fit(timed_run):
+    result = timed_run(figure5_fit)
     measured, predicted = result["measured"], result["predicted"]
     rows = [
         {

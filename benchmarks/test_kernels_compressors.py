@@ -1,10 +1,9 @@
 """Micro-benchmarks of the compressor kernels themselves.
 
-These time our actual NumPy implementations (pytest-benchmark's bread and
-butter). Note the contrast with the *simulated* costs: our Random-K uses
-vectorized ``Generator.choice`` and is fast; the paper's Python
-``random.sample`` encoder is the reason its R rows blow up — the simulator
-reproduces the paper's kernel, not ours.
+These time our actual NumPy implementations. Note the contrast with the
+*simulated* costs: our Random-K uses vectorized ``Generator.choice`` and
+is fast; the paper's Python ``random.sample`` encoder is the reason its R
+rows blow up — the simulator reproduces the paper's kernel, not ours.
 """
 
 import numpy as np
@@ -26,6 +25,6 @@ ACTIVATION = np.random.default_rng(0).normal(size=(32, 128, 64)).astype(np.float
     ("quant4", QuantizationCompressor(4)),
     ("ae", AutoencoderCompressor(64, 6)),
 ])
-def test_compress_roundtrip_speed(benchmark, name, comp):
-    out = benchmark(lambda: comp.decompress(comp.compress(ACTIVATION)))
+def test_compress_roundtrip_speed(timed_run, name, comp):
+    out = timed_run(lambda: comp.decompress(comp.compress(ACTIVATION)))
     assert out.shape == ACTIVATION.shape

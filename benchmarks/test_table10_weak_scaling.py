@@ -3,8 +3,8 @@
 from repro.experiments import format_table, table10_weak_scaling
 
 
-def test_table10_weak_scaling(once):
-    rows = once(table10_weak_scaling)
+def test_table10_weak_scaling(timed_run):
+    rows = timed_run(table10_weak_scaling)
     print("\n" + format_table(rows, title="Table 10 — weak-scaling AE speedup (Eq. 3, Megatron configs)"))
     speedups = [r["speedup"] for r in rows]
     # All configurations retain a real speedup (paper: 1.46×–1.91×).

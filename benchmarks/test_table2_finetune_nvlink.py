@@ -3,8 +3,8 @@
 from repro.experiments import format_table, table2_finetune_nvlink
 
 
-def test_table2_finetune_nvlink(once):
-    rows = once(table2_finetune_nvlink)
+def test_table2_finetune_nvlink(timed_run):
+    rows = timed_run(table2_finetune_nvlink)
     print("\n" + format_table(rows, title="Table 2 — fine-tune iteration time (ms), NVLink, b=32 s=512"))
     by = {r["setting"]: r for r in rows}
     for setting, row in by.items():

@@ -3,8 +3,8 @@
 from repro.experiments import format_table, table3_nvlink_ablation
 
 
-def test_table3_nvlink_ablation(once):
-    rows = once(table3_nvlink_ablation)
+def test_table3_nvlink_ablation(timed_run):
+    rows = timed_run(table3_nvlink_ablation)
     print("\n" + format_table(rows, title="Table 3 — w/o vs AE, with/without NVLink (ms)"))
     nv = {r["setting"]: r for r in rows if r["machine"] == "With NVLink"}
     pcie = {r["setting"]: r for r in rows if r["machine"] == "Without NVLink"}

@@ -3,8 +3,8 @@
 from repro.experiments import format_table, table4_breakdown_finetune
 
 
-def test_table4_breakdown_finetune(once):
-    rows = once(table4_breakdown_finetune)
+def test_table4_breakdown_finetune(timed_run):
+    rows = timed_run(table4_breakdown_finetune)
     print("\n" + format_table(rows, title="Table 4 — breakdown (ms), PCIe, TP=2 PP=2, b=32 s=512"))
     by = {r["scheme"]: r for r in rows}
     wo, a1 = by["w/o"], by["A1"]

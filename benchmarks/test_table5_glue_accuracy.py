@@ -7,8 +7,8 @@ regenerates all 9 columns × 9 scheme rows (takes minutes).
 from repro.experiments import format_table, table5_glue_accuracy
 
 
-def test_table5_glue_accuracy(once):
-    rows = once(table5_glue_accuracy)
+def test_table5_glue_accuracy(timed_run):
+    rows = timed_run(table5_glue_accuracy)
     print("\n" + format_table(rows, title="Table 5 — GLUE fine-tune scores (×100), TP=2 PP=2, last-half policy"))
     by = {r["scheme"]: r for r in rows}
     wo = by["w/o"]

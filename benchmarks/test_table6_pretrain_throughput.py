@@ -3,8 +3,8 @@
 from repro.experiments import format_table, table6_pretrain
 
 
-def test_table6_pretrain_throughput(once):
-    rows = once(table6_pretrain)
+def test_table6_pretrain_throughput(timed_run):
+    rows = timed_run(table6_pretrain)
     print("\n" + format_table(rows, title="Table 6 — pre-train iteration time (ms), 4×p3.8xlarge, micro=128 s=128"))
     by = {r["setting"]: r for r in rows}
     best = by["TP=4, PP=4"]

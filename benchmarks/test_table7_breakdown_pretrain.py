@@ -3,8 +3,8 @@
 from repro.experiments import format_table, table7_breakdown_pretrain
 
 
-def test_table7_breakdown_pretrain(once):
-    rows = once(table7_breakdown_pretrain)
+def test_table7_breakdown_pretrain(timed_run):
+    rows = timed_run(table7_breakdown_pretrain)
     print("\n" + format_table(rows, title="Table 7 — pre-train breakdown (ms), TP=4 PP=4, micro=128 global=1024"))
     by = {r["scheme"]: r for r in rows}
     wo = by["w/o"]

@@ -7,8 +7,8 @@ loading — takeaway 5's "remove the AE during fine-tuning").
 from repro.experiments import format_table, table8_pretrain_accuracy
 
 
-def test_table8_pretrain_accuracy(once):
-    rows = once(table8_pretrain_accuracy)
+def test_table8_pretrain_accuracy(timed_run):
+    rows = timed_run(table8_pretrain_accuracy)
     print("\n" + format_table(rows, title="Table 8 — fine-tune scores from compressed pre-training checkpoints"))
     by = {r["scheme"]: r for r in rows}
     wo = by["w/o"]

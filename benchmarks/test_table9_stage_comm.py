@@ -3,8 +3,8 @@
 from repro.experiments import format_table, table9_stage_comm
 
 
-def test_table9_stage_comm(once):
-    rows = once(table9_stage_comm)
+def test_table9_stage_comm(timed_run):
+    rows = timed_run(table9_stage_comm)
     print("\n" + format_table(rows, title="Table 9 — per-boundary comm time (ms/iteration), PP=4, last-12 policy"))
     first, second, third = rows
     # The first boundary feeds an uncompressed layer → unchanged.

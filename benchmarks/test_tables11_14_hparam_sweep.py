@@ -3,8 +3,8 @@
 from repro.experiments import format_table, tables11_14_hparam_sweep
 
 
-def test_tables11_14_hparam_sweep(once):
-    tables = once(tables11_14_hparam_sweep)
+def test_tables11_14_hparam_sweep(timed_run):
+    tables = timed_run(tables11_14_hparam_sweep)
     for key, rows in tables.items():
         print("\n" + format_table(rows, title=f"{key} — fine-tune time (ms), s=128"))
     # Takeaway 8: at s=128 compression stops paying. On NVLink no scheme

@@ -3,8 +3,8 @@
 from repro.experiments import format_table, tables15_16_accuracy
 
 
-def test_tables15_16_accuracy_hparams(once):
-    tables = once(tables15_16_accuracy)
+def test_tables15_16_accuracy_hparams(timed_run):
+    tables = timed_run(tables15_16_accuracy)
     for key, rows in tables.items():
         print("\n" + format_table(rows, title=f"{key} — GLUE scores (×100), TP=2 PP=2"))
     # The scheme ordering is batch-size independent: the baseline and the

@@ -1,0 +1,65 @@
+"""Render a bench document as markdown or CSV."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+__all__ = ["render_markdown", "render_csv"]
+
+
+def _case_rows(doc: dict) -> list[dict]:
+    rows = []
+    for case in doc["cases"]:
+        det = case.get("deterministic", {})
+        comm = det.get("comm_bytes", {})
+        rows.append({
+            "case": case["id"],
+            "kind": case["kind"],
+            "scheme": case["params"]["scheme"],
+            "tp": case["params"]["tp"],
+            "pp": case["params"]["pp"],
+            "wall_median_ms": case["wall_ms"]["median"],
+            "wall_iqr_ms": case["wall_ms"]["iqr"],
+            "rounds": case["wall_ms"]["rounds"],
+            "flops": det.get("flops", ""),
+            "alloc_bytes": det.get("alloc_bytes", ""),
+            "peak_alloc_bytes": det.get("peak_alloc_bytes", ""),
+            "comm_bytes": sum(comm.values()) if comm else "",
+            "sim_total_ms": det.get("total_ms", ""),
+        })
+    return rows
+
+
+def render_markdown(doc: dict) -> str:
+    """Markdown summary: header metadata plus one table row per case."""
+    rows = _case_rows(doc)
+    lines = [
+        f"# Bench run `{doc['git_sha']}`",
+        "",
+        f"- suite: `{doc['suite']}`  ·  quick: `{doc['quick']}`",
+        f"- machine calibration: {doc['machine_calibration_ms']:.3f} ms",
+        "",
+    ]
+    columns = list(rows[0].keys()) if rows else []
+    if rows:
+        lines.append("| " + " | ".join(columns) + " |")
+        lines.append("|" + "|".join(" --- " for _ in columns) + "|")
+        for row in rows:
+            cells = [
+                f"{v:.3f}" if isinstance(v, float) else str(v)
+                for v in (row[c] for c in columns)
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def render_csv(doc: dict) -> str:
+    """Flat CSV, one row per case (the dashboard-ingestible form)."""
+    rows = _case_rows(doc)
+    buf = io.StringIO()
+    if rows:
+        writer = csv.DictWriter(buf, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return buf.getvalue()

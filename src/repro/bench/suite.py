@@ -1,0 +1,69 @@
+"""The pinned benchmark suite: which workloads the harness tracks.
+
+Three kinds of case, mirroring how the repo is actually exercised:
+
+- ``mp_step`` — one full model-parallel training step (forward, backward,
+  clipped Adam step) of the scaled-down accuracy model, for every
+  TP×PP layout in {2×1, 1×2, 2×2} × scheme in {w/o, T2, R2, Q2, A2}.
+  These are the hot paths every compression/runtime PR touches.
+- ``finetune`` — one short recorded fine-tune (RTE, 1 epoch), the
+  end-to-end path the observability overhead guarantee is written
+  against.
+- ``sim`` — the calibrated simulator's iteration breakdown for the same
+  layout×scheme grid at BERT-Large scale.  Fully deterministic, so the
+  compare gate pins it exactly: any change to the cost model shows up.
+
+Case ids are stable strings (``mp_step/tp2pp1/T2``); the compare gate
+matches baseline and candidate by id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BenchCase", "LAYOUTS", "SCHEMES", "default_suite", "scheme_slug"]
+
+#: (tp, pp) layouts the paper's small-scale tables exercise.
+LAYOUTS: tuple[tuple[int, int], ...] = ((2, 1), (1, 2), (2, 2))
+
+#: One representative scheme per family plus the uncompressed baseline.
+SCHEMES: tuple[str, ...] = ("w/o", "T2", "R2", "Q2", "A2")
+
+
+def scheme_slug(scheme: str) -> str:
+    """Scheme label as a path-safe id component (``w/o`` → ``wo``)."""
+    return scheme.replace("/", "")
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One tracked workload."""
+
+    id: str
+    kind: str  # "mp_step" | "finetune" | "sim"
+    scheme: str = "w/o"
+    tp: int = 1
+    pp: int = 1
+
+    def params(self) -> dict:
+        return {"scheme": self.scheme, "tp": self.tp, "pp": self.pp}
+
+
+def default_suite() -> list[BenchCase]:
+    """The pinned suite, in stable order."""
+    cases: list[BenchCase] = []
+    for tp, pp in LAYOUTS:
+        for scheme in SCHEMES:
+            cases.append(BenchCase(
+                id=f"mp_step/tp{tp}pp{pp}/{scheme_slug(scheme)}",
+                kind="mp_step", scheme=scheme, tp=tp, pp=pp,
+            ))
+    cases.append(BenchCase(id="finetune/RTE/wo", kind="finetune",
+                           scheme="w/o", tp=2, pp=2))
+    for tp, pp in LAYOUTS:
+        for scheme in SCHEMES:
+            cases.append(BenchCase(
+                id=f"sim/tp{tp}pp{pp}/{scheme_slug(scheme)}",
+                kind="sim", scheme=scheme, tp=tp, pp=pp,
+            ))
+    return cases

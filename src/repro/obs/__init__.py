@@ -5,14 +5,22 @@
 - :mod:`repro.obs.fidelity` — :class:`FidelityProbe`, attached to a
   ``CommTracker``, records per-site reconstruction error / realized
   ratio / EF-residual norms from inside the collectives.
+- :mod:`repro.obs.profile` — :class:`OpProfiler`, an op-level
+  deterministic profiler on the ``repro.tensor`` op-hook seam (wall time,
+  call counts, FLOP/byte estimates, allocation high-water marks, span
+  stack with ``CommTracker`` cross-links).
 - :mod:`repro.obs.trace` — Chrome-trace (Perfetto) export of recorded
-  runs and of simulated GPipe iterations.
+  runs, profiled sessions and simulated GPipe iterations, plus
+  :func:`merge_traces` to render them side by side.
 - ``python -m repro.obs report run.jsonl`` — terminal report of a run.
 """
 
 from repro.obs.fidelity import FidelityProbe, FidelityRecord
 from repro.obs.metrics import NULL_RECORDER, NullRecorder, RunRecorder, load_jsonl
+from repro.obs.profile import OpProfiler, OpStats
 from repro.obs.trace import (
+    merge_traces,
+    profiler_trace,
     simulated_iteration_trace,
     trace_from_run,
     validate_against_breakdown,
@@ -26,8 +34,12 @@ __all__ = [
     "load_jsonl",
     "FidelityProbe",
     "FidelityRecord",
+    "OpProfiler",
+    "OpStats",
     "trace_from_run",
     "simulated_iteration_trace",
+    "profiler_trace",
+    "merge_traces",
     "validate_against_breakdown",
     "write_trace",
 ]

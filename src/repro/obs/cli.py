@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 
 from repro.experiments.report import format_table
 from repro.obs.fidelity import FidelityProbe
@@ -80,7 +81,23 @@ def _fidelity_table(per_site: dict) -> str:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    meta, records = load_jsonl(args.run)
+    if not os.path.exists(args.run):
+        print(f"error: run file not found: {args.run}", file=sys.stderr)
+        return 1
+    try:
+        meta, records = load_jsonl(args.run)
+    except (json.JSONDecodeError, OSError, UnicodeDecodeError) as exc:
+        print(f"error: cannot read {args.run} as a RunRecorder JSONL file: {exc}",
+              file=sys.stderr)
+        return 1
+    if not records:
+        print(
+            f"error: {args.run} contains no step records "
+            "(expected RunRecorder JSONL: a meta header plus one JSON object "
+            "per step; produce one with `python -m repro.obs smoke`)",
+            file=sys.stderr,
+        )
+        return 1
     print(_summarize(meta, records))
     sidecar = os.path.splitext(args.run)[0] + ".fidelity.json"
     if os.path.exists(sidecar):

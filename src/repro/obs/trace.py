@@ -31,6 +31,8 @@ from repro.simulator.iteration import IterationBreakdown, IterationSimulator, Si
 __all__ = [
     "trace_from_run",
     "simulated_iteration_trace",
+    "profiler_trace",
+    "merge_traces",
     "validate_against_breakdown",
     "write_trace",
 ]
@@ -67,6 +69,16 @@ class _TraceBuilder:
         event = {
             "ph": "X", "pid": self.pid, "tid": self.tid(track), "name": name,
             "cat": cat, "ts": ts_ms * _MS_TO_US, "dur": dur_ms * _MS_TO_US,
+        }
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
+    def instant(self, track: str, name: str, cat: str, ts_ms: float,
+                args: dict | None = None) -> None:
+        event = {
+            "ph": "i", "pid": self.pid, "tid": self.tid(track), "name": name,
+            "cat": cat, "ts": ts_ms * _MS_TO_US, "s": "t",
         }
         if args:
             event["args"] = args
@@ -206,6 +218,70 @@ def simulated_iteration_trace(
         "scheme": s.scheme, "tp": s.tp, "pp": pp, "micro_batch": s.micro_batch,
         "seq": s.seq, "num_microbatches": m,
     })
+
+
+def profiler_trace(profiler, meta: dict | None = None) -> dict:
+    """Chrome trace of an :class:`~repro.obs.profile.OpProfiler` session.
+
+    Spans render as slices on per-rank tracks, individual op calls (when
+    the profiler recorded events) as slices on an ops track, and every
+    cross-linked ``CommEvent`` as an instant marker carrying the event's
+    tracker index, site, scheme and wire bytes.  All slice categories are
+    ``prof.*``-prefixed so a merged real+simulated trace never perturbs
+    :func:`validate_against_breakdown`.
+    """
+    run_id = (meta or {}).get("run_id", "profile")
+    b = _TraceBuilder(f"profiled run: {run_id}")
+
+    def track_of(rank) -> str:
+        return "main" if rank is None else f"rank{rank}"
+
+    for span in profiler.spans:
+        b.slice(
+            f"{track_of(span.rank)} spans", span.name, f"prof.{span.cat}",
+            span.t_start_ms, span.dur_ms,
+            args={"path": span.path, "alloc_bytes": span.alloc_bytes,
+                  "op_calls": span.op_calls},
+        )
+    for op, phase, start, dur, nbytes, rank in profiler.op_events:
+        b.slice(f"{track_of(rank)} ops", op, f"prof.op.{phase}", start, dur,
+                args={"alloc_bytes": nbytes})
+    for link in profiler.comm_links:
+        b.instant(
+            f"{track_of(link.rank)} comm",
+            f"{link.op} {link.site}" if link.site else link.op,
+            "prof.comm", link.t_ms,
+            args={"event_index": link.event_index, "group": link.group,
+                  "phase": link.phase, "scheme": link.scheme,
+                  "wire_bytes": link.wire_bytes, "span": link.span_path},
+        )
+    return b.build(meta)
+
+
+def merge_traces(*traces: dict, meta: dict | None = None) -> dict:
+    """Merge traces into one timeline, one Chrome process per input.
+
+    Each input's events keep their timestamps and thread ids but are
+    re-homed to a distinct ``pid``, so e.g. a profiled real run and the
+    simulated GPipe schedule of the same setting render side by side in
+    Perfetto.  Categories are untouched: because the profiler only emits
+    ``prof.*`` categories, a merged trace still satisfies
+    :func:`validate_against_breakdown` for the simulated half.
+    """
+    events: list[dict] = []
+    other: dict = {}
+    for pid, trace in enumerate(traces, start=1):
+        for event in trace["traceEvents"]:
+            merged = dict(event)
+            merged["pid"] = pid
+            events.append(merged)
+        other.update(trace.get("otherData", {}))
+    if meta:
+        other.update(meta)
+    out = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if other:
+        out["otherData"] = other
+    return out
 
 
 def validate_against_breakdown(trace: dict, breakdown: IterationBreakdown) -> dict[str, float]:

@@ -126,13 +126,15 @@ class CommTracker:
         """Total wire bytes grouped by ``(group, phase, scheme)``.
 
         The natural shape for eyeballing one iteration: e.g.
-        ``{("tp", "forward", "autoencoder"): 1920, ...}``.
+        ``{("tp", "forward", "autoencoder"): 1920, ...}``.  Keys are
+        sorted, not insertion-ordered, so serialized summaries (bench
+        JSON, reports) diff stably across runs and schedule changes.
         """
         out: dict[tuple[str, str, str], int] = {}
         for e in self.events:
             key = (e.group, e.phase, e.scheme)
             out[key] = out.get(key, 0) + e.wire_bytes
-        return out
+        return dict(sorted(out.items()))
 
     def __repr__(self) -> str:
         return f"CommTracker(events={len(self.events)}, bytes={self.total_bytes()})"

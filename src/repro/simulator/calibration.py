@@ -21,7 +21,8 @@ Calibration walk-through (fine-tune workload, BERT-Large, b=32, s=512):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field, fields
 
 __all__ = ["Calibration", "CALIBRATION"]
 
@@ -122,6 +123,38 @@ class Calibration:
         keys = sorted(self.gemm_tflops_by_tp)
         nearest = min(keys, key=lambda k: abs(k - tp))
         return self.gemm_tflops_by_tp[nearest]
+
+    # ------------------------------------------------------------------
+    # Persistence — so a re-fit (see perfmodel.fitting) can be saved and
+    # diffed against the committed constants instead of silently replacing
+    # them.
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Calibration":
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown calibration fields: {unknown}")
+        payload = dict(data)
+        if "gemm_tflops_by_tp" in payload:
+            # JSON round-trips int keys as strings.
+            payload["gemm_tflops_by_tp"] = {
+                int(k): float(v) for k, v in payload["gemm_tflops_by_tp"].items()
+            }
+        return cls(**payload)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Calibration":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
 
 
 CALIBRATION = Calibration()

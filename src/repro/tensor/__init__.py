@@ -18,6 +18,9 @@ from repro.tensor.tensor import (
     register_tensor_guard,
     unregister_tensor_guard,
     tensor_guard,
+    register_op_hook,
+    unregister_op_hook,
+    op_hook,
 )
 from repro.tensor import functional
 
@@ -30,4 +33,7 @@ __all__ = [
     "register_tensor_guard",
     "unregister_tensor_guard",
     "tensor_guard",
+    "register_op_hook",
+    "unregister_op_hook",
+    "op_hook",
 ]

@@ -24,6 +24,9 @@ __all__ = [
     "register_tensor_guard",
     "unregister_tensor_guard",
     "tensor_guard",
+    "register_op_hook",
+    "unregister_op_hook",
+    "op_hook",
 ]
 
 _GRAD_ENABLED = True
@@ -32,6 +35,56 @@ _GRAD_ENABLED = True
 #: with (array, context) for every op output and every backward gradient.
 #: Empty in normal operation so the hot path pays one truthiness check.
 _TENSOR_GUARDS: list[Callable[[np.ndarray, str], None]] = []
+
+#: Optional op-observer hooks (repro.obs.profile). Each hook is called as
+#: ``fn(op, data, parent_shapes, phase)`` — once per produced op output
+#: (phase "forward") and once per executed backward closure (phase
+#: "backward"). Like the guards, the list is empty in normal operation so
+#: the hot path pays one truthiness check and nothing else.
+_OP_HOOKS: list[Callable[[str, np.ndarray, tuple, str], None]] = []
+
+#: Backward-closure code object -> op name, so the hook path resolves the
+#: producing op without re-parsing ``__qualname__`` on every call.
+_OP_NAME_CACHE: dict[int, str] = {}
+
+
+def _op_name(backward: Callable) -> str:
+    """Name of the op that defined ``backward`` (from its qualname)."""
+    key = id(getattr(backward, "__code__", backward))
+    name = _OP_NAME_CACHE.get(key)
+    if name is None:
+        parts = getattr(backward, "__qualname__", "op").split(".")
+        # "Tensor.__add__.<locals>.backward" -> "__add__";
+        # "concatenate.<locals>.backward" -> "concatenate".
+        name = parts[-3] if len(parts) >= 3 else parts[0]
+        _OP_NAME_CACHE[key] = name
+    return name
+
+
+def register_op_hook(fn: Callable[[str, np.ndarray, tuple, str], None]) -> Callable:
+    """Install ``fn(op, data, parent_shapes, phase)`` on every tensor op."""
+    _OP_HOOKS.append(fn)
+    return fn
+
+
+def unregister_op_hook(fn: Callable[[str, np.ndarray, tuple, str], None]) -> None:
+    """Remove a hook previously installed with :func:`register_op_hook`."""
+    _OP_HOOKS.remove(fn)
+
+
+@contextlib.contextmanager
+def op_hook(fn: Callable[[str, np.ndarray, tuple, str], None]):
+    """Context manager installing an op hook for the duration of the block."""
+    register_op_hook(fn)
+    try:
+        yield fn
+    finally:
+        unregister_op_hook(fn)
+
+
+def _run_op_hooks(op: str, data: np.ndarray, parent_shapes: tuple, phase: str) -> None:
+    for fn in _OP_HOOKS:
+        fn(op, data, parent_shapes, phase)
 
 
 def register_tensor_guard(fn: Callable[[np.ndarray, str], None]) -> Callable:
@@ -145,6 +198,10 @@ class Tensor:
         """Create an op output wired into the graph (internal)."""
         if _TENSOR_GUARDS:
             _run_guards(data, "forward")
+        if _OP_HOOKS:
+            _run_op_hooks(
+                _op_name(backward), data, tuple(p.data.shape for p in parents), "forward"
+            )
         out = Tensor.__new__(Tensor)
         out.data = data
         out.grad = None
@@ -219,6 +276,8 @@ class Tensor:
         that do not require grad).
         """
         parent_grads = self._backward(g)
+        if _OP_HOOKS:
+            _run_op_hooks(_op_name(self._backward), g, (), "backward")
         if not isinstance(parent_grads, tuple):
             parent_grads = (parent_grads,)
         for p, pg in zip(self._parents, parent_grads):

@@ -1,0 +1,110 @@
+"""The regression gate: normalized wall times, pinned deterministic metrics."""
+
+import copy
+
+import pytest
+
+from repro.bench.compare import compare_docs
+
+
+def doc(wall=40.0, cal=4.0, flops=1.0e8, comm=1024, extra_case=None,
+        drop_case=False):
+    cases = [
+        {
+            "id": "mp_step/tp2pp1/T2",
+            "kind": "mp_step",
+            "params": {"scheme": "T2", "tp": 2, "pp": 1},
+            "wall_ms": {"median": wall, "iqr": 1.0, "rounds": 3},
+            "deterministic": {"flops": flops,
+                              "comm_bytes": {"tp/forward/topk": comm}},
+        },
+        {
+            "id": "sim/tp2pp1/T2",
+            "kind": "sim",
+            "params": {"scheme": "T2", "tp": 2, "pp": 1},
+            "wall_ms": {"median": 0.1, "iqr": 0.0, "rounds": 3},
+            "deterministic": {"total_ms": 123.456},
+        },
+    ]
+    if drop_case:
+        cases = cases[:1]
+    if extra_case:
+        cases.append(extra_case)
+    return {
+        "schema_version": 1, "git_sha": "abc", "quick": True,
+        "suite": "default", "machine_calibration_ms": cal, "cases": cases,
+    }
+
+
+class TestWallGate:
+    def test_identical_docs_pass(self):
+        result = compare_docs(doc(), doc())
+        assert result.ok
+        assert not result.regressions
+
+    def test_injected_2x_regression_fails(self):
+        """Acceptance criterion: a 2x wall-time regression must trip."""
+        result = compare_docs(doc(wall=80.0), doc(wall=40.0))
+        assert not result.ok
+        (reg,) = [c for c in result.regressions if c.metric == "wall_ms"]
+        assert reg.ratio == pytest.approx(2.0)
+
+    def test_machine_speed_cancels(self):
+        # Candidate machine is 2x slower across the board (calibration and
+        # workload both doubled): normalized ratio is 1, no regression.
+        result = compare_docs(doc(wall=80.0, cal=8.0), doc(wall=40.0, cal=4.0))
+        assert result.ok
+
+    def test_sub_floor_cases_are_skipped_not_gated(self):
+        result = compare_docs(doc(), doc())
+        sim_checks = [c for c in result.checks
+                      if c.case_id == "sim/tp2pp1/T2" and c.metric == "wall_ms"]
+        assert [c.status for c in sim_checks] == ["skipped"]
+
+    def test_wall_tol_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            compare_docs(doc(), doc(), wall_tol=0.9)
+
+    def test_nonpositive_calibration_rejected(self):
+        with pytest.raises(ValueError):
+            compare_docs(doc(cal=0.0), doc())
+
+
+class TestDeterministicGate:
+    def test_flop_drift_is_a_regression(self):
+        result = compare_docs(doc(flops=1.01e8), doc(flops=1.0e8))
+        assert not result.ok
+        (reg,) = [c for c in result.regressions if c.metric == "flops"]
+        assert "baseline" in reg.note
+
+    def test_comm_bytes_drift_is_a_regression(self):
+        result = compare_docs(doc(comm=2048), doc(comm=1024))
+        assert any(c.metric == "comm_bytes.tp/forward/topk"
+                   for c in result.regressions)
+
+    def test_tiny_float_noise_tolerated(self):
+        result = compare_docs(doc(flops=1.0e8 * (1 + 1e-12)), doc(flops=1.0e8))
+        assert result.ok
+
+
+class TestCaseSetChanges:
+    def test_dropped_case_fails_gate(self):
+        result = compare_docs(doc(drop_case=True), doc())
+        assert not result.ok
+        assert any(c.status == "missing" for c in result.regressions)
+
+    def test_new_case_passes_but_is_reported(self):
+        extra = {
+            "id": "mp_step/tp4pp1/T2", "kind": "mp_step",
+            "params": {"scheme": "T2", "tp": 4, "pp": 1},
+            "wall_ms": {"median": 10.0, "iqr": 0.0, "rounds": 3},
+            "deterministic": {},
+        }
+        result = compare_docs(doc(extra_case=extra), doc())
+        assert result.ok
+        assert any(c.status == "new" for c in result.checks)
+
+    def test_as_rows_shape(self):
+        rows = compare_docs(doc(), doc()).as_rows()
+        assert rows and set(rows[0]) == {"case", "metric", "baseline",
+                                         "candidate", "ratio", "status"}

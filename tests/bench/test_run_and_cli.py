@@ -1,0 +1,151 @@
+"""run_suite end-to-end, report rendering and the m repro.bench CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.cli import main
+from repro.bench.report import render_csv, render_markdown
+from repro.bench.run import bench_filename, git_sha, run_suite
+from repro.bench.schema import validate_bench
+from repro.bench.suite import LAYOUTS, SCHEMES, BenchCase, default_suite
+
+
+@pytest.fixture(scope="module")
+def quick_run(tmp_path_factory):
+    """One full --quick suite run, shared by every test in this module."""
+    out_dir = tmp_path_factory.mktemp("bench")
+    doc, bench_path, trace_path = run_suite(
+        quick=True, out_dir=str(out_dir), write_trace_artifact=False)
+    return doc, bench_path, out_dir
+
+
+class TestRunSuite:
+    def test_document_is_schema_valid(self, quick_run):
+        doc, _, _ = quick_run
+        assert validate_bench(doc) is doc
+
+    def test_covers_all_schemes_and_layouts(self, quick_run):
+        """Acceptance: --quick covers all 5 schemes x 3 layouts."""
+        doc, _, _ = quick_run
+        for kind in ("mp_step", "sim"):
+            cells = {(c["params"]["scheme"], c["params"]["tp"], c["params"]["pp"])
+                     for c in doc["cases"] if c["kind"] == kind}
+            assert cells == {(s, tp, pp) for s in SCHEMES for tp, pp in LAYOUTS}
+
+    def test_written_file_round_trips(self, quick_run):
+        doc, bench_path, _ = quick_run
+        with open(bench_path) as fh:
+            loaded = json.load(fh)
+        assert validate_bench(loaded)["git_sha"] == doc["git_sha"]
+
+    def test_mp_step_cases_carry_profiler_rollups(self, quick_run):
+        doc, _, _ = quick_run
+        for case in doc["cases"]:
+            if case["kind"] != "mp_step":
+                continue
+            det = case["deterministic"]
+            assert det["flops"] > 0 and det["op_calls"] > 0
+            assert det["peak_alloc_bytes"] > 0
+            if case["params"]["tp"] > 1 or case["params"]["pp"] > 1:
+                assert det["comm_events"] > 0
+                assert sum(det["comm_bytes"].values()) > 0
+
+    def test_compressed_schemes_move_fewer_tp_forward_bytes(self, quick_run):
+        doc, _, _ = quick_run
+        by_id = {c["id"]: c for c in doc["cases"]}
+        dense = by_id["mp_step/tp2pp1/wo"]["deterministic"]["comm_bytes"]
+        topk = by_id["mp_step/tp2pp1/T2"]["deterministic"]["comm_bytes"]
+        dense_fwd = sum(v for k, v in dense.items() if "/forward/" in k)
+        topk_fwd = sum(v for k, v in topk.items() if "/forward/" in k)
+        assert topk_fwd < dense_fwd
+
+    def test_deterministic_metrics_stable_across_runs(self, tmp_path):
+        suite = [BenchCase(id="mp_step/tp2pp1/T2", kind="mp_step",
+                           scheme="T2", tp=2, pp=1)]
+        docs = [run_suite(quick=True, suite=suite, out_dir=str(tmp_path / d),
+                          write_trace_artifact=False)[0]
+                for d in ("a", "b")]
+        det0 = docs[0]["cases"][0]["deterministic"]
+        det1 = docs[1]["cases"][0]["deterministic"]
+        assert det0 == det1
+
+    def test_git_sha_and_filename(self):
+        sha = git_sha()
+        assert sha and "\n" not in sha
+        assert bench_filename("abc") == "BENCH_abc.json"
+
+
+class TestTraceArtifact:
+    def test_merged_trace_written_for_flagship_case(self, tmp_path):
+        suite = [c for c in default_suite() if c.id == "mp_step/tp2pp2/A2"]
+        doc, _, trace_path = run_suite(quick=True, suite=suite,
+                                       out_dir=str(tmp_path),
+                                       write_trace_artifact=True)
+        assert trace_path is not None
+        with open(trace_path) as fh:
+            trace = json.load(fh)
+        pids = {e["pid"] for e in trace["traceEvents"]}
+        assert pids == {1, 2}  # profiled process + simulated process
+        cats = {e.get("cat", "") for e in trace["traceEvents"]}
+        assert any(c.startswith("prof.") for c in cats)
+        assert "forward_compute" in cats  # simulated half intact
+
+
+class TestReportRendering:
+    def test_markdown_has_header_and_rows(self, quick_run):
+        doc, _, _ = quick_run
+        md = render_markdown(doc)
+        assert f"`{doc['git_sha']}`" in md
+        assert "mp_step/tp2pp2/A2" in md
+
+    def test_csv_rows_match_cases(self, quick_run):
+        doc, _, _ = quick_run
+        lines = [l for l in render_csv(doc).splitlines() if l]
+        assert len(lines) == 1 + len(doc["cases"])
+
+
+class TestCli:
+    def test_compare_self_passes(self, quick_run, capsys):
+        _, bench_path, _ = quick_run
+        assert main(["compare", bench_path, "--baseline", bench_path]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_injected_regression_fails(self, quick_run, tmp_path, capsys):
+        """Acceptance: 2x wall regression vs a baseline copy exits nonzero."""
+        doc, bench_path, _ = quick_run
+        slowed = copy.deepcopy(doc)
+        for case in slowed["cases"]:
+            if case["id"] == "mp_step/tp2pp2/A2":
+                case["wall_ms"]["median"] *= 2.0
+        slow_path = str(tmp_path / "BENCH_slow.json")
+        with open(slow_path, "w") as fh:
+            json.dump(slowed, fh)
+        assert main(["compare", slow_path, "--baseline", bench_path]) == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err
+
+    def test_compare_missing_candidate_exits_2(self, tmp_path, capsys):
+        assert main(["compare", "--dir", str(tmp_path)]) == 2
+        assert "no BENCH_" in capsys.readouterr().err
+
+    def test_compare_invalid_doc_exits_2(self, quick_run, tmp_path, capsys):
+        _, bench_path, _ = quick_run
+        bad = str(tmp_path / "BENCH_bad.json")
+        with open(bad, "w") as fh:
+            json.dump({"schema_version": 1}, fh)
+        assert main(["compare", bad, "--baseline", bench_path]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_report_defaults_to_newest_in_dir(self, quick_run, capsys):
+        doc, _, out_dir = quick_run
+        assert main(["report", "--dir", str(out_dir)]) == 0
+        assert doc["git_sha"] in capsys.readouterr().out
+
+    def test_report_csv_to_file(self, quick_run, tmp_path, capsys):
+        _, bench_path, _ = quick_run
+        out = str(tmp_path / "bench.csv")
+        assert main(["report", bench_path, "--format", "csv", "--out", out]) == 0
+        with open(out) as fh:
+            assert fh.readline().startswith("case,")

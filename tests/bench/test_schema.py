@@ -1,0 +1,86 @@
+"""BENCH_<sha>.json schema validation (hand-rolled, no jsonschema dep)."""
+
+import copy
+
+import pytest
+
+from repro.bench.schema import SCHEMA_VERSION, BenchSchemaError, validate_bench
+
+
+def good_doc():
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "git_sha": "abc1234",
+        "created_unix": 1_700_000_000.0,
+        "quick": True,
+        "suite": "default",
+        "machine_calibration_ms": 3.5,
+        "cases": [
+            {
+                "id": "mp_step/tp2pp1/T2",
+                "kind": "mp_step",
+                "params": {"scheme": "T2", "tp": 2, "pp": 1},
+                "wall_ms": {"median": 45.0, "iqr": 1.0, "rounds": 3,
+                            "times": [44.0, 45.0, 46.0]},
+                "deterministic": {
+                    "flops": 1.0e8,
+                    "op_calls": 1000,
+                    "comm_bytes": {"tp/forward/topk": 1024},
+                },
+            },
+        ],
+    }
+
+
+class TestValidate:
+    def test_accepts_well_formed(self):
+        doc = good_doc()
+        assert validate_bench(doc) is doc
+
+    @pytest.mark.parametrize("missing", [
+        "schema_version", "git_sha", "quick", "machine_calibration_ms",
+        "suite", "cases",
+    ])
+    def test_rejects_missing_top_level_field(self, missing):
+        doc = good_doc()
+        del doc[missing]
+        with pytest.raises(BenchSchemaError, match=missing):
+            validate_bench(doc)
+
+    @pytest.mark.parametrize("missing", ["id", "kind", "params", "wall_ms",
+                                         "deterministic"])
+    def test_rejects_missing_case_field(self, missing):
+        doc = good_doc()
+        del doc["cases"][0][missing]
+        with pytest.raises(BenchSchemaError):
+            validate_bench(doc)
+
+    def test_rejects_wrong_types(self):
+        doc = good_doc()
+        doc["cases"][0]["wall_ms"]["median"] = "fast"
+        with pytest.raises(BenchSchemaError):
+            validate_bench(doc)
+
+    def test_rejects_bad_kind(self):
+        doc = good_doc()
+        doc["cases"][0]["kind"] = "gpu_step"
+        with pytest.raises(BenchSchemaError):
+            validate_bench(doc)
+
+    def test_rejects_negative_rounds(self):
+        doc = good_doc()
+        doc["cases"][0]["wall_ms"]["rounds"] = 0
+        with pytest.raises(BenchSchemaError):
+            validate_bench(doc)
+
+    def test_rejects_duplicate_case_ids(self):
+        doc = good_doc()
+        doc["cases"].append(copy.deepcopy(doc["cases"][0]))
+        with pytest.raises(BenchSchemaError, match="duplicate"):
+            validate_bench(doc)
+
+    def test_rejects_unknown_top_level_key(self):
+        doc = good_doc()
+        doc["vibes"] = "good"
+        with pytest.raises(BenchSchemaError):
+            validate_bench(doc)

@@ -1,0 +1,29 @@
+"""The pinned suite: full scheme × layout coverage, stable ids."""
+
+from repro.bench.suite import LAYOUTS, SCHEMES, BenchCase, default_suite, scheme_slug
+
+
+class TestDefaultSuite:
+    def test_covers_all_schemes_and_layouts(self):
+        suite = default_suite()
+        for kind in ("mp_step", "sim"):
+            cells = {(c.scheme, c.tp, c.pp) for c in suite if c.kind == kind}
+            assert cells == {(s, tp, pp) for s in SCHEMES for tp, pp in LAYOUTS}
+
+    def test_includes_finetune_case(self):
+        kinds = [c.kind for c in default_suite()]
+        assert kinds.count("finetune") == 1
+
+    def test_ids_unique_and_slugged(self):
+        suite = default_suite()
+        ids = [c.id for c in suite]
+        assert len(ids) == len(set(ids)) == len(suite)
+        assert all("/w/o" not in i for i in ids)  # "w/o" slugs to "wo"
+
+    def test_scheme_slug(self):
+        assert scheme_slug("w/o") == "wo"
+        assert scheme_slug("T2") == "T2"
+
+    def test_case_params(self):
+        case = BenchCase(id="x", kind="sim", scheme="Q2", tp=2, pp=2)
+        assert case.params() == {"scheme": "Q2", "tp": 2, "pp": 2}

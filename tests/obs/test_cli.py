@@ -30,6 +30,32 @@ class TestReport:
             trace = json.load(fh)
         assert trace["traceEvents"]
 
+    def test_missing_file_fails_gracefully(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["report", missing]) == 1
+        err = capsys.readouterr().err
+        assert "not found" in err and "nope.jsonl" in err
+
+    def test_empty_jsonl_fails_gracefully(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 1
+        err = capsys.readouterr().err
+        assert "no step records" in err
+
+    def test_meta_only_jsonl_fails_gracefully(self, tmp_path, capsys):
+        # A header line but zero step records — e.g. a crashed run.
+        header_only = tmp_path / "header.jsonl"
+        header_only.write_text('{"type": "meta", "run_id": "crashed"}\n')
+        assert main(["report", str(header_only)]) == 1
+        assert "no step records" in capsys.readouterr().err
+
+    def test_unparseable_file_fails_gracefully(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("this is not json\n")
+        assert main(["report", str(garbage)]) == 1
+        assert "error" in capsys.readouterr().err
+
     def test_reports_fidelity_sidecar(self, tmp_path, capsys):
         run = make_jsonl(tmp_path)
         sidecar = str(tmp_path / "run.fidelity.json")

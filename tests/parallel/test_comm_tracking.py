@@ -137,6 +137,20 @@ class TestCollectiveOps:
                       NoCompressor(), tr)
         assert tr.count() == 0
 
+    def test_summary_keys_are_sorted(self):
+        """summary() must serialize stably (bench JSON diffs by key order)."""
+        tr = CommTracker()
+        # Record in deliberately unsorted group/phase order: pp before tp,
+        # backward before forward.
+        x = Tensor(RNG.normal(size=(2, 3, 32)).astype(np.float32), requires_grad=True)
+        pipeline_transfer(x, NoCompressor(), tr, boundary=0).sum().backward()
+        parts = [Tensor(RNG.normal(size=(2, 4)).astype(np.float32), requires_grad=True)
+                 for _ in range(2)]
+        tp_all_reduce(parts, TopKCompressor(0.25), tr).sum().backward()
+        keys = list(tr.summary())
+        assert len(keys) >= 3
+        assert keys == sorted(keys)
+
     def test_tracker_reset_and_totals(self):
         tr = CommTracker()
         parts = [Tensor(np.zeros((2, 2), dtype=np.float32))] * 2

@@ -1,0 +1,80 @@
+"""Calibration persistence and the Fig. 5 fit-quality sanity check."""
+
+import dataclasses
+
+import pytest
+
+from repro.perfmodel.fitting import fit_from_simulator
+from repro.simulator.calibration import CALIBRATION, Calibration
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_identity(self):
+        cal = Calibration()
+        assert Calibration.from_dict(cal.to_dict()) == cal
+
+    def test_save_load_through_json(self, tmp_path):
+        path = str(tmp_path / "calibration.json")
+        CALIBRATION.save(path)
+        loaded = Calibration.load(path)
+        assert loaded == CALIBRATION
+        # int keys survive the JSON string round trip
+        assert loaded.gemm_tflops_by_tp == CALIBRATION.gemm_tflops_by_tp
+        assert all(isinstance(k, int) for k in loaded.gemm_tflops_by_tp)
+
+    def test_modified_constant_round_trips(self, tmp_path):
+        cal = dataclasses.replace(Calibration(), backward_ratio=2.5,
+                                  optimizer_ms=7.0)
+        path = str(tmp_path / "refit.json")
+        cal.save(path)
+        loaded = Calibration.load(path)
+        assert loaded.backward_ratio == 2.5 and loaded.optimizer_ms == 7.0
+        assert loaded != CALIBRATION
+
+    def test_unknown_field_rejected(self):
+        data = Calibration().to_dict()
+        data["warp_speed"] = 9.0
+        with pytest.raises(ValueError, match="warp_speed"):
+            Calibration.from_dict(data)
+
+    def test_gemm_tflops_nearest_lookup_survives_round_trip(self, tmp_path):
+        path = str(tmp_path / "cal.json")
+        CALIBRATION.save(path)
+        loaded = Calibration.load(path)
+        for tp in (1, 2, 3, 4, 8, 16):
+            assert loaded.gemm_tflops(tp) == CALIBRATION.gemm_tflops(tp)
+
+
+class TestFitQuality:
+    """The committed constants must still support a sane Fig. 5 fit."""
+
+    @pytest.fixture(scope="class")
+    def fit(self):
+        return fit_from_simulator(hiddens=(256, 512, 1024, 2048))
+
+    def test_fitted_params_positive(self, fit):
+        params, _ = fit
+        assert params.alpha > 0 and params.beta > 0 and params.gamma > 0
+        assert params.comm_const_ms > 0 and params.comm_threshold_elems > 0
+
+    def test_compute_prediction_tracks_measurement_at_large_h(self, fit):
+        params, curves = fit
+        # alpha is fit at the largest hidden size (the paper's procedure);
+        # prediction = alpha * layer FLOPs must land within 50% there.
+        from repro.perfmodel.fitting import transformer_layer_flops
+
+        h = curves["hiddens"][-1]
+        measured = curves["comp_ms"][-1]
+        predicted = params.alpha * transformer_layer_flops(16, 128, h)
+        assert abs(predicted - measured) < 0.5 * measured
+
+    def test_overhead_linear_in_hidden(self, fit):
+        _, curves = fit
+        ratios = [o / h for o, h in zip(curves["overhead_ms"], curves["hiddens"])]
+        assert max(ratios) / min(ratios) < 1.05  # gamma·B·s·h is linear in h
+
+    def test_comm_curve_monotone_above_threshold(self, fit):
+        params, curves = fit
+        above = [c for h, c in zip(curves["hiddens"], curves["comm_ms"])
+                 if 16 * 128 * h > params.comm_threshold_elems]
+        assert above == sorted(above)
