@@ -105,6 +105,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
         return 0
     print(f"FAIL: {len(result.regressions)} regression(s) "
           f"across {len(result.checks)} checks", file=sys.stderr)
+    # Name every offender explicitly: the summary table above is filtered
+    # and easy to misread in CI logs, so the verdict itself must say which
+    # case/metric regressed and the two values being compared.
+    for check in result.regressions:
+        print(f"  {check.case_id} :: {check.metric}: "
+              f"baseline={check.baseline} candidate={check.candidate}",
+              file=sys.stderr)
     return 1
 
 

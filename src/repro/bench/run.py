@@ -28,8 +28,10 @@ __all__ = ["run_suite", "git_sha", "bench_filename"]
 #: keeps 3 rounds: the gate compares medians, and a median of 3 absorbs
 #: one scheduler hiccup where a median of 2 (= the mean) cannot.
 _REPEATS = {
-    True: {"mp_step": (1, 3), "finetune": (0, 3), "sim": (1, 3)},
-    False: {"mp_step": (2, 5), "finetune": (1, 5), "sim": (2, 5)},
+    True: {"mp_step": (1, 3), "finetune": (0, 3), "sim": (1, 3),
+           "backend_step": (1, 3)},
+    False: {"mp_step": (2, 5), "finetune": (1, 5), "sim": (2, 5),
+            "backend_step": (1, 5)},
 }
 
 
@@ -116,6 +118,54 @@ def _run_mp_step(case: BenchCase, warmup: int, rounds: int) -> dict:
     return {"wall_ms": timing.as_dict(), "deterministic": deterministic}
 
 
+def _run_backend_step(case: BenchCase, warmup: int, rounds: int) -> dict:
+    """One optimizer step through an execution backend.
+
+    Backend construction (spawning workers, allocating shared memory for
+    the mp case) happens once, outside the timed region — the suite tracks
+    steady-state step cost, not cold start.  Deterministic metrics stay
+    machine-independent: comm event counts and wire bytes only (step losses
+    depend on BLAS accumulation order and may differ across machines).
+    """
+    from repro.optim import Adam
+    from repro.parallel import ModelParallelBertClassifier, ModelParallelConfig
+    from repro.parallel.backend import create_backend
+    from repro.training.finetune import default_accuracy_model
+
+    cfg = ModelParallelConfig(
+        default_accuracy_model(num_classes=2, seed=0),
+        tp=case.tp, pp=case.pp, scheme=case.scheme, seed=0,
+        backend=case.backend,
+    )
+    model = ModelParallelBertClassifier(cfg)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(0)
+    input_ids = rng.integers(0, cfg.model.vocab_size, size=(16, 16))
+    labels = rng.integers(0, 2, size=16)
+    mask = np.ones((16, 16), dtype=np.int64)
+
+    backend = create_backend(case.backend, model)
+    try:
+        def step():
+            optimizer.zero_grad()
+            result = backend.train_step(input_ids, labels, mask)
+            backend.apply_grads(model, result)
+            optimizer.step()
+            backend.sync_weights(model)
+            return result
+
+        timing = timed(step, warmup=warmup, rounds=rounds)
+        result = timing.result
+        deterministic = {
+            "comm_events": len(result.events),
+            "comm_bytes": {"/".join(key): value
+                           for key, value in model.tracker.summary().items()},
+        }
+    finally:
+        backend.close()
+    return {"wall_ms": timing.as_dict(), "deterministic": deterministic}
+
+
 def _run_finetune(case: BenchCase, warmup: int, rounds: int) -> dict:
     from repro.training.finetune import finetune_on_task
     from repro.training.trainer import TrainConfig
@@ -160,7 +210,8 @@ def _run_sim(case: BenchCase, warmup: int, rounds: int) -> dict:
     return {"wall_ms": timing.as_dict(), "deterministic": deterministic}
 
 
-_RUNNERS = {"mp_step": _run_mp_step, "finetune": _run_finetune, "sim": _run_sim}
+_RUNNERS = {"mp_step": _run_mp_step, "finetune": _run_finetune,
+            "sim": _run_sim, "backend_step": _run_backend_step}
 
 #: Case whose profiled timeline is exported as the merged trace artifact.
 _TRACE_CASE_ID = "mp_step/tp2pp2/A2"

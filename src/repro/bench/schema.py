@@ -49,7 +49,8 @@ BENCH_SCHEMA = {
                 "properties": {
                     "id": {"type": "string"},
                     "kind": {"type": "string",
-                             "enum": ["mp_step", "finetune", "sim"]},
+                             "enum": ["mp_step", "finetune", "sim",
+                                      "backend_step"]},
                     "params": {
                         "type": "object",
                         "required": ["scheme", "tp", "pp"],
@@ -57,6 +58,7 @@ BENCH_SCHEMA = {
                             "scheme": {"type": "string"},
                             "tp": {"type": "integer", "minimum": 1},
                             "pp": {"type": "integer", "minimum": 1},
+                            "backend": {"type": "string"},
                         },
                     },
                     "wall_ms": _WALL,

@@ -1,6 +1,6 @@
 """The pinned benchmark suite: which workloads the harness tracks.
 
-Three kinds of case, mirroring how the repo is actually exercised:
+Four kinds of case, mirroring how the repo is actually exercised:
 
 - ``mp_step`` — one full model-parallel training step (forward, backward,
   clipped Adam step) of the scaled-down accuracy model, for every
@@ -12,6 +12,11 @@ Three kinds of case, mirroring how the repo is actually exercised:
 - ``sim`` — the calibrated simulator's iteration breakdown for the same
   layout×scheme grid at BERT-Large scale.  Fully deterministic, so the
   compare gate pins it exactly: any change to the cost model shows up.
+- ``backend_step`` — one optimizer step driven through an execution
+  backend (``inproc`` oracle vs the ``mp`` process gang), timing the
+  process/shared-memory overhead against the serial path.  Deterministic
+  metrics are limited to comm events/bytes: losses are machine-dependent
+  (BLAS summation order), comm accounting is not.
 
 Case ids are stable strings (``mp_step/tp2pp1/T2``); the compare gate
 matches baseline and candidate by id.
@@ -21,7 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["BenchCase", "LAYOUTS", "SCHEMES", "default_suite", "scheme_slug"]
+__all__ = ["BenchCase", "LAYOUTS", "SCHEMES", "BACKEND_SCHEMES",
+           "default_suite", "scheme_slug"]
 
 #: (tp, pp) layouts the paper's small-scale tables exercise.
 LAYOUTS: tuple[tuple[int, int], ...] = ((2, 1), (1, 2), (2, 2))
@@ -35,18 +41,25 @@ def scheme_slug(scheme: str) -> str:
     return scheme.replace("/", "")
 
 
+#: Schemes the backend comparison tracks — one per family is enough to
+#: cover the identity, all-gather and quantized collective paths.
+BACKEND_SCHEMES: tuple[str, ...] = ("w/o", "T2", "Q2")
+
+
 @dataclass(frozen=True)
 class BenchCase:
     """One tracked workload."""
 
     id: str
-    kind: str  # "mp_step" | "finetune" | "sim"
+    kind: str  # "mp_step" | "finetune" | "sim" | "backend_step"
     scheme: str = "w/o"
     tp: int = 1
     pp: int = 1
+    backend: str = "inproc"
 
     def params(self) -> dict:
-        return {"scheme": self.scheme, "tp": self.tp, "pp": self.pp}
+        return {"scheme": self.scheme, "tp": self.tp, "pp": self.pp,
+                "backend": self.backend}
 
 
 def default_suite() -> list[BenchCase]:
@@ -66,4 +79,16 @@ def default_suite() -> list[BenchCase]:
                 id=f"sim/tp{tp}pp{pp}/{scheme_slug(scheme)}",
                 kind="sim", scheme=scheme, tp=tp, pp=pp,
             ))
+    # Execution-backend comparison: the same step through the inproc oracle
+    # and the mp process gang, per layout × scheme.  Wall times quantify
+    # the process/shm overhead; the deterministic comm metrics must be
+    # identical between the two backends (bitwise-equivalence contract).
+    for backend in ("inproc", "mp"):
+        for tp, pp in LAYOUTS:
+            for scheme in BACKEND_SCHEMES:
+                cases.append(BenchCase(
+                    id=f"backend_step/{backend}/tp{tp}pp{pp}/{scheme_slug(scheme)}",
+                    kind="backend_step", scheme=scheme, tp=tp, pp=pp,
+                    backend=backend,
+                ))
     return cases

@@ -12,6 +12,8 @@ provided, as used in Random-K gradient compression literature (Stich et al.).
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.compression.base import (
@@ -49,16 +51,29 @@ class RandomKCompressor(Compressor):
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
         self.fraction = float(fraction)
         self.unbiased = unbiased
-        self._rng = np.random.default_rng(seed)
+        self._seed = int(seed)
+        self._site_rngs: dict[str, np.random.Generator] = {}
+
+    def _rng_for(self, site: str) -> np.random.Generator:
+        # One independent, advancing stream per call site.  Selection at a
+        # site then depends only on (seed, site, call count) — never on how
+        # many *other* sites ran in this process — so an mp worker that
+        # materializes a single tp rank draws the same indices the serial
+        # oracle drew for that rank.
+        rng = self._site_rngs.get(site)
+        if rng is None:
+            rng = np.random.default_rng((self._seed, zlib.crc32(site.encode())))
+            self._site_rngs[site] = rng
+        return rng
 
     def _k(self, size: int) -> int:
         return max(1, int(round(self.fraction * size)))
 
-    def _select(self, size: int) -> np.ndarray:
+    def _select(self, size: int, site: str = "default") -> np.ndarray:
         k = self._k(size)
         if k >= size:
             return np.arange(size, dtype=np.int32)
-        idx = self._rng.choice(size, size=k, replace=False)
+        idx = self._rng_for(site).choice(size, size=k, replace=False)
         return np.sort(idx).astype(np.int32)
 
     def compress(self, x: np.ndarray) -> CompressedMessage:
@@ -88,7 +103,7 @@ class RandomKCompressor(Compressor):
         return k * (BYTES_FP16 + BYTES_INT32)
 
     def apply(self, x: Tensor, site: str = "default") -> Tensor:
-        idx = self._select(x.data.size)
+        idx = self._select(x.data.size, site=site)
         mask = np.zeros(x.data.size, dtype=bool)
         mask[idx] = True
         mask = mask.reshape(x.data.shape)

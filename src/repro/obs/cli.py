@@ -7,6 +7,8 @@ Usage::
                               [--task RTE] [--epochs 1] [--batch-size 32]
     python -m repro.obs sim-trace --out sim.json [--scheme A2]
                                   [--tp 2] [--pp 2] [--microbatches 4]
+    python -m repro.obs mp-trace --out mp.json [--scheme A2]
+                                 [--tp 2] [--pp 2]
 
 ``report`` prints a per-run summary (gauges, phase timers, per-site
 compression fidelity when a sidecar ``*.fidelity.json`` exists) from a
@@ -18,6 +20,11 @@ scheme, ``smoke-<scheme>.jsonl`` / ``.csv`` / ``.trace.json`` /
 
 ``sim-trace`` exports the simulated GPipe iteration of one Table-4
 setting as a Chrome trace (open in Perfetto or ``chrome://tracing``).
+
+``mp-trace`` runs one real training step through the multiprocess
+execution backend with per-rank timelines enabled and merges the worker
+timelines into one Chrome trace — one track per logical rank, ``mp.wait``
+slices showing where ranks block on each other.
 """
 
 from __future__ import annotations
@@ -30,7 +37,12 @@ import sys
 from repro.experiments.report import format_table
 from repro.obs.fidelity import FidelityProbe
 from repro.obs.metrics import RunRecorder, load_jsonl
-from repro.obs.trace import simulated_iteration_trace, trace_from_run, write_trace
+from repro.obs.trace import (
+    simulated_iteration_trace,
+    trace_from_run,
+    worker_timelines_trace,
+    write_trace,
+)
 
 __all__ = ["main"]
 
@@ -168,6 +180,37 @@ def cmd_sim_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_mp_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.parallel import ModelParallelBertClassifier, ModelParallelConfig
+    from repro.parallel.backend import create_backend
+    from repro.training.finetune import default_accuracy_model
+
+    cfg = ModelParallelConfig(
+        default_accuracy_model(num_classes=2, seed=0),
+        tp=args.tp, pp=args.pp, scheme=args.scheme, seed=0, backend="mp",
+    )
+    model = ModelParallelBertClassifier(cfg)
+    rng = np.random.default_rng(0)
+    input_ids = rng.integers(0, cfg.model.vocab_size, size=(args.batch, args.seq))
+    labels = rng.integers(0, 2, size=args.batch)
+
+    backend = create_backend("mp", model, collect_timelines=True)
+    try:
+        result = backend.train_step(input_ids, labels, None)
+    finally:
+        backend.close()
+    meta = {"run_id": f"mp-step-{args.scheme}-tp{args.tp}pp{args.pp}",
+            "scheme": args.scheme, "tp": args.tp, "pp": args.pp,
+            "loss": result.loss}
+    write_trace(worker_timelines_trace(result.timelines, meta), args.out)
+    spans = sum(len(t) for t in result.timelines.values())
+    print(f"mp {args.scheme} TP={args.tp} PP={args.pp}: "
+          f"{len(result.timelines)} ranks, {spans} spans -> {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="python -m repro.obs",
                                      description=__doc__,
@@ -196,6 +239,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seq", type=int, default=512)
     p_sim.add_argument("--microbatches", type=int, default=4)
     p_sim.set_defaults(fn=cmd_sim_trace)
+
+    p_mp = sub.add_parser("mp-trace",
+                          help="export per-rank timelines of one real mp-backend step")
+    p_mp.add_argument("--out", default="mp-trace.json")
+    p_mp.add_argument("--scheme", default="A2")
+    p_mp.add_argument("--tp", type=int, default=2)
+    p_mp.add_argument("--pp", type=int, default=2)
+    p_mp.add_argument("--batch", type=int, default=8)
+    p_mp.add_argument("--seq", type=int, default=16)
+    p_mp.set_defaults(fn=cmd_mp_trace)
     return parser
 
 

@@ -32,6 +32,7 @@ __all__ = [
     "trace_from_run",
     "simulated_iteration_trace",
     "profiler_trace",
+    "worker_timelines_trace",
     "merge_traces",
     "validate_against_breakdown",
     "write_trace",
@@ -255,6 +256,28 @@ def profiler_trace(profiler, meta: dict | None = None) -> dict:
                   "phase": link.phase, "scheme": link.scheme,
                   "wire_bytes": link.wire_bytes, "span": link.span_path},
         )
+    return b.build(meta)
+
+
+def worker_timelines_trace(timelines: dict[int, list[dict]],
+                           meta: dict | None = None) -> dict:
+    """Chrome trace of the mp backend's per-rank worker timelines.
+
+    ``timelines`` is :attr:`~repro.parallel.backend.StepResult.timelines`:
+    global rank → span dicts (``name``/``cat``/``ts_ms``/``dur_ms``).  Each
+    rank renders as its own track; every worker's clock starts at its own
+    step entry, so tracks are aligned at the step barrier rather than on a
+    shared wall clock.  Categories are ``mp.*``-prefixed (``mp.phase`` for
+    compute phases, ``mp.wait`` for blocking transport waits) so a merged
+    real+simulated trace never perturbs :func:`validate_against_breakdown`.
+    """
+    run_id = (meta or {}).get("run_id", "mp step")
+    b = _TraceBuilder(f"mp workers: {run_id}")
+    for rank in sorted(timelines):
+        track = f"rank{rank}"
+        for span in timelines[rank]:
+            b.slice(track, span["name"], span["cat"], span["ts_ms"],
+                    span["dur_ms"])
     return b.build(meta)
 
 

@@ -1,0 +1,49 @@
+"""Pluggable execution backends for the model-parallel runtime.
+
+See :mod:`repro.parallel.backend.base` for the interface and
+DESIGN.md ("Execution backends") for the bitwise-equivalence strategy.
+"""
+
+from repro.parallel.backend.base import (
+    BACKEND_NAMES,
+    BackendError,
+    ExecutionBackend,
+    StepResult,
+    create_backend,
+)
+from repro.parallel.backend.context import (
+    RankContext,
+    active_context,
+    global_rank,
+    rank_context,
+    set_rank_context,
+    spmd_ranks,
+)
+from repro.parallel.backend.transport import (
+    DEFAULT_CAPACITY,
+    DEFAULT_TIMEOUT_S,
+    HEADER_SIZE,
+    RankTransport,
+    ShmBarrier,
+    ShmChannel,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendError",
+    "ExecutionBackend",
+    "StepResult",
+    "create_backend",
+    "RankContext",
+    "active_context",
+    "global_rank",
+    "rank_context",
+    "set_rank_context",
+    "spmd_ranks",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_TIMEOUT_S",
+    "HEADER_SIZE",
+    "RankTransport",
+    "ShmBarrier",
+    "ShmChannel",
+]

@@ -1,0 +1,111 @@
+"""Execution-backend interface: how one training step actually runs.
+
+The runtime's *semantics* (which tensors cross which cut points, what the
+collectives compute, what bytes the tracker logs) are defined by
+:mod:`repro.parallel.collectives`; a backend decides *where* the logical
+ranks execute:
+
+- ``inproc`` — today's serial semantics: every rank's shard computation
+  runs in this process, collectives operate on lists of partials.  It is
+  the numerics oracle.
+- ``mp`` — one OS process per logical rank (spawn context), collectives
+  over shared memory.  Bitwise-equivalent to ``inproc`` by construction
+  (see DESIGN.md): rank sums run in rank order, the TP grid is capped so
+  float accumulation stays commutative, and codecs run rank-local.
+
+Both backends expose the same step protocol so the trainer and the bench
+harness drive them identically::
+
+    backend = create_backend(cfg.backend, model)
+    result = backend.train_step(input_ids, labels, mask)
+    backend.apply_grads(model, result)   # p.grad <- merged gradients
+    optimizer.step()
+    backend.sync_weights(model)          # push updated weights to ranks
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BackendError", "StepResult", "ExecutionBackend", "create_backend",
+           "BACKEND_NAMES"]
+
+BACKEND_NAMES = ("inproc", "mp")
+
+
+class BackendError(RuntimeError):
+    """A backend failed: worker crash, transport timeout, protocol violation.
+
+    Carries the failing logical ``rank`` (or ``None`` when the failure is
+    not attributable to one rank) so a hung 2×2 run names its culprit
+    instead of leaving four silent processes.
+    """
+
+    def __init__(self, message: str, rank: int | None = None):
+        if rank is not None:
+            message = f"[rank {rank}] {message}"
+        super().__init__(message)
+        self.rank = rank
+
+
+@dataclass
+class StepResult:
+    """Outcome of one training (or eval) step, backend-agnostic.
+
+    ``grads`` maps dotted parameter names to merged gradient arrays; it is
+    empty for the inproc backend, whose autograd pass already left the
+    gradients on the parent model's parameters.  ``timelines`` maps global
+    rank to a list of span dicts (``name``/``cat``/``ts_ms``/``dur_ms``)
+    for Chrome-trace export; the inproc backend reports none.
+    """
+
+    loss: float
+    grads: dict[str, np.ndarray] = field(default_factory=dict)
+    events: list = field(default_factory=list)
+    timelines: dict[int, list[dict]] = field(default_factory=dict)
+
+
+class ExecutionBackend:
+    """Protocol shared by all backends (subclass, don't instantiate)."""
+
+    name = "abstract"
+
+    def train_step(self, input_ids, labels, attention_mask=None) -> StepResult:
+        raise NotImplementedError
+
+    def apply_grads(self, model, result: StepResult) -> None:
+        """Install ``result.grads`` onto the parent model's parameters."""
+        raise NotImplementedError
+
+    def sync_weights(self, model) -> None:
+        """Propagate the parent model's (updated) weights to the ranks."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release processes/shared memory. Idempotent."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def create_backend(name: str, model, **kwargs) -> ExecutionBackend:
+    """Build the backend ``name`` around a parent model.
+
+    ``model`` is a :class:`~repro.parallel.ModelParallelBertClassifier`
+    (or any model following its config/tracker protocol); the mp backend
+    reads its :class:`ModelParallelConfig` to spawn one worker per rank.
+    """
+    if name == "inproc":
+        from repro.parallel.backend.inproc import InprocBackend
+
+        return InprocBackend(model, **kwargs)
+    if name == "mp":
+        from repro.parallel.backend.mp import MpBackend
+
+        return MpBackend(model, **kwargs)
+    raise ValueError(f"unknown backend {name!r}; valid: {list(BACKEND_NAMES)}")

@@ -1,0 +1,105 @@
+"""Process-global SPMD rank context consulted by the runtime's hot loops.
+
+The in-process runtime materializes *every* logical rank: shard loops run
+``for r in range(tp)`` and collectives receive the full list of partials.
+A worker process of the mp backend executes the *same* model code but owns
+exactly one (stage, tp_rank) coordinate — it activates a
+:class:`RankContext` and the loops collapse to its own rank via
+:func:`spmd_ranks`, while the collectives switch from summing lists to
+exchanging arrays over the context's transport.
+
+The context is deliberately a plain module global (not a thread-local):
+a worker process runs one rank, full stop, and the inproc backend never
+sets it — so the oracle path stays literally the pre-backend code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RankContext", "rank_context", "set_rank_context", "active_context",
+           "spmd_ranks", "global_rank"]
+
+
+@dataclass
+class RankContext:
+    """One worker's coordinates in the TP×PP grid plus its transport."""
+
+    tp: int
+    pp: int
+    tp_rank: int
+    stage: int
+    transport: object | None = None  # RankTransport; None in transport-less tests
+    rng: np.random.Generator | None = None  # per-rank stream, seeded (seed, rank)
+    timeout: float = 60.0
+
+    def __post_init__(self):
+        if not (0 <= self.tp_rank < self.tp):
+            raise ValueError(f"tp_rank {self.tp_rank} out of range for tp={self.tp}")
+        if not (0 <= self.stage < self.pp):
+            raise ValueError(f"stage {self.stage} out of range for pp={self.pp}")
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Global rank, pp-major: ``stage * tp + tp_rank``."""
+        return global_rank(self.stage, self.tp_rank, self.tp)
+
+    @property
+    def records(self) -> bool:
+        """Whether this rank is its stage's designated event recorder.
+
+        The inproc oracle logs exactly one :class:`CommEvent` per logical
+        collective; under SPMD every tp peer executes the site, so only
+        tp rank 0 records — the merged event multiset then matches the
+        oracle event-for-event.
+        """
+        return self.tp_rank == 0
+
+    def tp_peers(self) -> list[int]:
+        """Global ranks of this stage's TP group, in tp-rank order."""
+        return [global_rank(self.stage, t, self.tp) for t in range(self.tp)]
+
+    def peer(self, stage: int) -> int:
+        """Global rank of the same tp_rank at another pipeline stage."""
+        return global_rank(stage, self.tp_rank, self.tp)
+
+
+def global_rank(stage: int, tp_rank: int, tp: int) -> int:
+    return stage * tp + tp_rank
+
+
+_CTX: RankContext | None = None
+
+
+def rank_context() -> RankContext | None:
+    """The active context, or ``None`` in the in-process oracle."""
+    return _CTX
+
+
+def set_rank_context(ctx: RankContext | None) -> None:
+    global _CTX
+    _CTX = ctx
+
+
+@contextlib.contextmanager
+def active_context(ctx: RankContext):
+    """Scope ``ctx`` as the process's rank context (tests, worker steps)."""
+    prev = rank_context()
+    set_rank_context(ctx)
+    try:
+        yield ctx
+    finally:
+        set_rank_context(prev)
+
+
+def spmd_ranks(tp: int) -> tuple[int, ...]:
+    """The tp ranks *this* process materializes: all of them in-process,
+    exactly one inside an mp worker."""
+    ctx = _CTX
+    if ctx is None or tp <= 1:
+        return tuple(range(tp))
+    return (ctx.tp_rank,)

@@ -1,0 +1,36 @@
+"""In-process execution backend: the serial numerics oracle.
+
+Runs the step exactly as the pre-backend code did — every logical rank's
+shard computation in this process, collectives over lists of partials.
+The autograd pass leaves gradients directly on the parent model's
+parameters, so :class:`StepResult.grads` is empty and ``apply_grads`` /
+``sync_weights`` are no-ops.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.backend.base import ExecutionBackend, StepResult
+
+__all__ = ["InprocBackend"]
+
+
+class InprocBackend(ExecutionBackend):
+    name = "inproc"
+
+    def __init__(self, model):
+        self.model = model
+
+    def train_step(self, input_ids, labels, attention_mask=None) -> StepResult:
+        model = self.model
+        model.tracker.reset()
+        model.zero_grad()
+        loss = model.loss(input_ids, labels, attention_mask)
+        loss.backward()
+        return StepResult(loss=loss.item(), grads={},
+                          events=list(model.tracker.events), timelines={})
+
+    def apply_grads(self, model, result: StepResult) -> None:
+        pass  # gradients already live on the model's parameters
+
+    def sync_weights(self, model) -> None:
+        pass  # there is nobody to sync with

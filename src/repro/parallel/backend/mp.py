@@ -1,0 +1,282 @@
+"""Multiprocess execution backend: one spawned worker per logical rank.
+
+The parent keeps the canonical model and optimizer; workers hold replicas
+(same seed ⇒ identical init) and compute their rank's slice of each step.
+Per step the parent broadcasts the batch, collects per-rank losses, grads
+and comm events, merges them into the oracle's view (see
+:meth:`MpBackend._merge_grads`), and — after the caller's optimizer step —
+pushes the updated weights back out.
+
+Failure model: every wait on a worker carries a deadline and checks the
+process is still alive, so a crashed or wedged rank surfaces as a typed
+:class:`BackendError` naming the rank — never a hang.  Any failure tears
+the whole gang down (``close()``) before the error propagates; a backend
+is not reusable after an error.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import re
+import time
+
+import numpy as np
+
+from repro.parallel.backend.base import BackendError, ExecutionBackend, StepResult
+from repro.parallel.backend.context import global_rank
+from repro.parallel.backend.transport import (
+    DEFAULT_CAPACITY,
+    DEFAULT_TIMEOUT_S,
+    RankTransport,
+)
+from repro.parallel.backend.worker import _worker_main
+
+__all__ = ["MpBackend"]
+
+_RANK_SUFFIX = re.compile(r"_rank(\d+)$")
+_LAYER_OWNER = re.compile(r"(?:^|\.)layers\.(\d+)\.")
+_COMP_LAYER = re.compile(r"(?:^|\.)compressor\.layer(\d+)\.")
+_COMP_BOUNDARY = re.compile(r"(?:^|\.)compressor\.boundary(\d+)\.")
+_TP_ENCODER = re.compile(r"(?:^|\.)compressor\.layer\d+\.(?:attn|mlp)\.encoder$")
+_STAGE0_PARAMS = ("token_embedding", "position_embedding", "embed_ln")
+
+
+class MpBackend(ExecutionBackend):
+    """Spawn-context process gang executing the model's TP×PP layout."""
+
+    name = "mp"
+
+    def __init__(self, model, *, capacity_bytes: int = DEFAULT_CAPACITY,
+                 timeout: float = DEFAULT_TIMEOUT_S,
+                 collect_timelines: bool = False):
+        cfg = model.config
+        if cfg.model.dropout != 0.0:
+            raise BackendError(
+                "mp backend requires dropout=0.0: each worker draws from its "
+                "own RNG, so dropout masks cannot match the serial oracle"
+            )
+        self.model = model
+        self.tp = cfg.tp
+        self.pp = cfg.pp
+        self.world = cfg.tp * cfg.pp
+        self.timeout = timeout
+        self.collect_timelines = collect_timelines
+        self._partition = model.backbone.partition
+        self._closed = False
+        self._procs: list = []
+        self._conns: list = []
+
+        # The parent attaches as an observer (rank=-1): it owns the segment
+        # lifetime but opens no channels.
+        self.transport = RankTransport.create(self.world, capacity_bytes)
+        try:
+            self._spawn_workers(model, timeout)
+            self._collect(range(self.world))  # one ("ready", rank) each
+            self.sync_weights(model)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    def _spawn_workers(self, model, timeout: float) -> None:
+        spawn = multiprocessing.get_context("spawn")
+        kwargs = {}
+        if hasattr(model, "regression"):
+            kwargs["regression"] = model.regression
+        model_spec = {"cls": type(model), "config": model.config, "kwargs": kwargs}
+        for stage in range(self.pp):
+            for tp_rank in range(self.tp):
+                parent_conn, child_conn = spawn.Pipe()
+                rank_info = {"tp": self.tp, "pp": self.pp,
+                             "tp_rank": tp_rank, "stage": stage}
+                proc = spawn.Process(
+                    target=_worker_main,
+                    args=(child_conn, self.transport.spec, rank_info,
+                          model_spec, timeout),
+                    daemon=True,
+                    name=f"repro-rank{global_rank(stage, tp_rank, self.tp)}",
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+
+    def _collect(self, ranks) -> dict[int, tuple]:
+        """One message from each rank, or a BackendError naming the culprit.
+
+        Scans *all* pending ranks each pass (rather than draining them in
+        order) so a crashed rank 3 is reported as rank 3 even while rank 0
+        is still legitimately computing.
+        """
+        pending = set(ranks)
+        results: dict[int, tuple] = {}
+        deadline = time.monotonic() + self.timeout
+        while pending:
+            progress = False
+            for rank in sorted(pending):
+                conn = self._conns[rank]
+                if not conn.poll(0):
+                    continue
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self.close()
+                    raise BackendError("connection to worker lost", rank=rank)
+                if msg[0] == "error":
+                    tb = msg[2]
+                    self.close()
+                    raise BackendError(f"worker failed:\n{tb}", rank=rank)
+                results[rank] = msg
+                pending.discard(rank)
+                progress = True
+            if not pending or progress:
+                continue
+            for rank in sorted(pending):
+                if not self._procs[rank].is_alive() and not self._conns[rank].poll(0):
+                    exitcode = self._procs[rank].exitcode
+                    self.close()
+                    raise BackendError(
+                        f"worker process died (exit code {exitcode}) "
+                        f"before replying",
+                        rank=rank,
+                    )
+            if time.monotonic() > deadline:
+                culprit = sorted(pending)[0]
+                self.close()
+                raise BackendError(
+                    f"ranks {sorted(pending)} sent no reply within "
+                    f"{self.timeout:.0f}s",
+                    rank=culprit,
+                )
+            time.sleep(0.005)
+        return results
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise BackendError("backend is closed")
+
+    def _send_all(self, msg: tuple) -> None:
+        for rank, conn in enumerate(self._conns):
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError):
+                self.close()
+                raise BackendError("worker pipe is broken (process died?)",
+                                   rank=rank)
+
+    # ------------------------------------------------------------------
+    def train_step(self, input_ids, labels, attention_mask=None) -> StepResult:
+        self._ensure_open()
+        self._send_all(("step", input_ids, labels, attention_mask,
+                        self.collect_timelines))
+        replies = self._collect(range(self.world))
+
+        # replies[rank] = ("result", rank, loss, grads, events, timeline)
+        loss_rank = global_rank(self.pp - 1, 0, self.tp)
+        loss = replies[loss_rank][2]
+        if loss is None:
+            raise BackendError("last pipeline stage reported no loss",
+                               rank=loss_rank)
+
+        grads = self._merge_grads({r: replies[r][3] for r in replies})
+        events: list = []
+        for rank in range(self.world):
+            events.extend(replies[rank][4])
+        timelines = {}
+        if self.collect_timelines:
+            timelines = {rank: replies[rank][5] for rank in range(self.world)}
+
+        # Mirror the merged events onto the parent model's tracker so
+        # `model.tracker.summary()` reads the same whichever backend ran.
+        self.model.tracker.reset()
+        self.model.tracker.events.extend(events)
+        return StepResult(loss=float(loss), grads=grads, events=events,
+                          timelines=timelines)
+
+    # ------------------------------------------------------------------
+    def _owner_stage(self, name: str) -> int:
+        """Pipeline stage whose workers computed this parameter's gradient."""
+        m = _LAYER_OWNER.search(name)
+        if m:
+            return self._partition.stage_of(int(m.group(1)))
+        m = _COMP_LAYER.search(name)
+        if m:
+            return self._partition.stage_of(int(m.group(1)))
+        m = _COMP_BOUNDARY.search(name)
+        if m:
+            return int(m.group(1))  # boundary b's codec runs on sender stage b
+        if any(f".{p}." in name or name.startswith(f"backbone.{p}.")
+               for p in _STAGE0_PARAMS):
+            return 0
+        return self.pp - 1  # classifier / MLM heads live after the backbone
+
+    def _merge_grads(self, per_rank: dict[int, dict[str, np.ndarray]]
+                     ) -> dict[str, np.ndarray]:
+        """Select/combine worker gradients into the oracle's gradient set.
+
+        - ``*_rank{r}`` shard parameters: exactly one worker (owner stage,
+          tp rank r) touched them — take its gradient.
+        - TP-site AE encoders: the oracle encodes *every* rank's partial
+          through the same encoder, accumulating tp gradients; sum the
+          per-rank contributions in rank order (bitwise-commutative at
+          tp<=2).
+        - Everything else is replicated post-reduce compute — take the
+          owner stage's tp rank 0 copy.
+        """
+        merged: dict[str, np.ndarray] = {}
+        for name, _ in self.model.named_parameters():
+            stage = self._owner_stage(name)
+            m = _RANK_SUFFIX.search(name)
+            if m:
+                g = per_rank[global_rank(stage, int(m.group(1)), self.tp)].get(name)
+            elif _TP_ENCODER.search(name) and self.tp > 1:
+                g = None
+                for t in range(self.tp):
+                    part = per_rank[global_rank(stage, t, self.tp)].get(name)
+                    if part is None:
+                        continue
+                    g = part if g is None else g + part
+            else:
+                g = per_rank[global_rank(stage, 0, self.tp)].get(name)
+            if g is not None:
+                merged[name] = g
+        return merged
+
+    def apply_grads(self, model, result: StepResult) -> None:
+        named = dict(model.named_parameters())
+        for name, g in result.grads.items():
+            named[name].grad = np.asarray(g)
+
+    def sync_weights(self, model) -> None:
+        self._ensure_open()
+        self._send_all(("weights", model.state_dict()))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("shutdown",))
+            except (OSError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs:
+            proc.join(max(0.1, deadline - time.monotonic()))
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.transport.close()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,326 @@
+"""Shared-memory rank-to-rank transport with a pickle-free header protocol.
+
+One :class:`RankTransport` owns a single ``multiprocessing.shared_memory``
+segment laid out as
+
+- a barrier region: ``world`` aligned u32 generation slots, then
+- a full mesh of ``world × world`` single-message channel slots (the
+  diagonal is unused), each ``HEADER_SIZE + capacity`` bytes.
+
+Each directed channel is a single-producer/single-consumer mailbox: the
+sender waits for ``status == EMPTY``, writes payload then header, and
+flips ``status`` to ``FULL`` last; the receiver does the reverse.  Because
+every ordered rank pair has its own slot and all ranks execute the same
+collective sequence, the protocol is deadlock-free — and every blocking
+wait carries a deadline so a dead peer surfaces as a typed
+:class:`~repro.parallel.backend.base.BackendError` naming the rank it was
+waiting on, never a hang.
+
+Arrays cross the wire as raw bytes plus a fixed struct header (magic,
+sequence number, dtype code, shape) — no pickle anywhere on the data
+plane, so a corrupted message fails loudly on the magic/seq check instead
+of deserializing garbage.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.parallel.backend.base import BackendError
+
+__all__ = ["ShmChannel", "ShmBarrier", "RankTransport", "HEADER_SIZE",
+           "DEFAULT_CAPACITY", "DEFAULT_TIMEOUT_S"]
+
+#: Per-channel payload capacity (bytes). Activations in the scaled-down
+#: models are tens of KB; 1 MiB leaves generous headroom while keeping a
+#: 4-rank mesh (16 slots) under ~17 MiB of shared memory.
+DEFAULT_CAPACITY = 1 << 20
+
+#: Default deadline for any single blocking wait.
+DEFAULT_TIMEOUT_S = 60.0
+
+#: Poll interval while waiting on a status flag. Shared-memory flips are
+#: visible immediately; this only bounds busy-wait CPU burn.
+_POLL_S = 20e-6
+
+_MAGIC = 0x5250_4F43  # "RPOC"
+_EMPTY, _FULL = 0, 1
+
+#: status(u32) seq(u32) magic(u32) dtype(u8) ndim(u8) pad(u16) nbytes(u64)
+#: shape(8 × u64)
+_HEADER = struct.Struct("<IIIBBHQ8Q")
+HEADER_SIZE = _HEADER.size
+
+_DTYPES: tuple[np.dtype, ...] = tuple(
+    np.dtype(d) for d in ("float32", "float16", "float64", "int32", "int64", "uint8", "bool")
+)
+_DTYPE_CODE = {d: i for i, d in enumerate(_DTYPES)}
+_MAX_NDIM = 8
+
+
+def _now() -> float:
+    return time.monotonic()
+
+
+class ShmChannel:
+    """One directed single-message channel inside a shared buffer.
+
+    ``buf`` is any writable buffer (a shared-memory slice in production, a
+    plain ``bytearray`` in unit tests) of at least ``HEADER_SIZE +
+    capacity`` bytes, pre-zeroed so the slot starts EMPTY.
+    """
+
+    def __init__(self, buf, capacity: int, *, src: int, dst: int):
+        if len(buf) < HEADER_SIZE + capacity:
+            raise ValueError(
+                f"channel buffer too small: {len(buf)} < {HEADER_SIZE + capacity}"
+            )
+        self._buf = buf
+        self.capacity = capacity
+        self.src = src
+        self.dst = dst
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    # -- low-level flag helpers -----------------------------------------
+    def _status(self) -> int:
+        return struct.unpack_from("<I", self._buf, 0)[0]
+
+    def _set_status(self, value: int) -> None:
+        struct.pack_into("<I", self._buf, 0, value)
+
+    def _wait_status(self, want: int, deadline: float, waiting_on: int) -> None:
+        while self._status() != want:
+            if _now() > deadline:
+                verb = "drain" if want == _EMPTY else "send"
+                raise BackendError(
+                    f"timed out waiting for rank {waiting_on} to {verb} "
+                    f"(channel {self.src}->{self.dst})",
+                    rank=waiting_on,
+                )
+            time.sleep(_POLL_S)
+
+    # -- public API ------------------------------------------------------
+    def send(self, arr: np.ndarray, timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        arr = np.asarray(arr)
+        if not arr.flags["C_CONTIGUOUS"]:
+            # Not ascontiguousarray unconditionally: that would promote 0-d
+            # arrays to 1-d and silently change the shape on the wire.
+            arr = np.ascontiguousarray(arr)
+        code = _DTYPE_CODE.get(arr.dtype)
+        if code is None:
+            raise BackendError(
+                f"unsupported wire dtype {arr.dtype} (channel {self.src}->{self.dst})",
+                rank=self.src,
+            )
+        if arr.ndim > _MAX_NDIM:
+            raise BackendError(f"ndim {arr.ndim} exceeds header limit {_MAX_NDIM}",
+                               rank=self.src)
+        if arr.nbytes > self.capacity:
+            raise BackendError(
+                f"payload of {arr.nbytes} bytes exceeds channel capacity "
+                f"{self.capacity}; raise capacity_bytes",
+                rank=self.src,
+            )
+        self._wait_status(_EMPTY, _now() + timeout, waiting_on=self.dst)
+        if arr.nbytes:
+            self._buf[HEADER_SIZE : HEADER_SIZE + arr.nbytes] = arr.tobytes()
+        shape = tuple(arr.shape) + (0,) * (_MAX_NDIM - arr.ndim)
+        self._send_seq += 1
+        _HEADER.pack_into(
+            self._buf, 0, _EMPTY, self._send_seq, _MAGIC, code, arr.ndim, 0,
+            arr.nbytes, *shape,
+        )
+        # Status flips to FULL only after payload and header are in place.
+        self._set_status(_FULL)
+
+    def recv(self, timeout: float = DEFAULT_TIMEOUT_S) -> np.ndarray:
+        self._wait_status(_FULL, _now() + timeout, waiting_on=self.src)
+        (_, seq, magic, code, ndim, _, nbytes, *shape) = _HEADER.unpack_from(self._buf, 0)
+        if magic != _MAGIC:
+            raise BackendError(
+                f"bad magic 0x{magic:08x} on channel {self.src}->{self.dst}",
+                rank=self.src,
+            )
+        self._recv_seq += 1
+        if seq != self._recv_seq:
+            raise BackendError(
+                f"out-of-order message on channel {self.src}->{self.dst}: "
+                f"seq {seq}, expected {self._recv_seq}",
+                rank=self.src,
+            )
+        dtype = _DTYPES[code]
+        payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + nbytes])
+        arr = np.frombuffer(payload, dtype=dtype).reshape(shape[:ndim]).copy()
+        self._set_status(_EMPTY)
+        return arr
+
+
+class ShmBarrier:
+    """Generation-counter barrier over ``world`` aligned u32 slots.
+
+    Each arrival bumps the caller's slot to the current generation and
+    waits (with a deadline) until every slot has caught up.  Slots start
+    at 0, so generation numbering starts at 1.
+    """
+
+    def __init__(self, buf, world: int, rank: int):
+        if len(buf) < 4 * world:
+            raise ValueError(f"barrier buffer too small for world={world}")
+        self._buf = buf
+        self.world = world
+        self.rank = rank
+        self._generation = 0
+
+    def wait(self, timeout: float = DEFAULT_TIMEOUT_S) -> int:
+        self._generation += 1
+        struct.pack_into("<I", self._buf, 4 * self.rank, self._generation)
+        deadline = _now() + timeout
+        for peer in range(self.world):
+            while struct.unpack_from("<I", self._buf, 4 * peer)[0] < self._generation:
+                if _now() > deadline:
+                    raise BackendError(
+                        f"barrier generation {self._generation} timed out waiting "
+                        f"for rank {peer}",
+                        rank=peer,
+                    )
+                time.sleep(_POLL_S)
+        return self._generation
+
+
+class RankTransport:
+    """All channels and the barrier for one rank, over one shm segment.
+
+    The parent calls :meth:`create` once (allocating and zeroing the
+    segment) and passes ``spec`` to each worker, which attaches with
+    :meth:`RankTransport(spec, rank=...)``.  Only the creator may
+    :meth:`unlink`; everyone must :meth:`close`.
+    """
+
+    def __init__(self, spec: dict, rank: int, *, _created: bool = False):
+        self.world = int(spec["world"])
+        self.capacity = int(spec["capacity"])
+        self.rank = rank
+        self.spec = dict(spec)
+        self._created = _created
+        try:
+            self._shm = shared_memory.SharedMemory(name=spec["name"], create=_created,
+                                                   size=self._segment_size() if _created else 0)
+        except FileNotFoundError:
+            raise BackendError(
+                f"shared-memory segment {spec['name']!r} is gone (creator closed?)",
+                rank=rank,
+            ) from None
+        buf = self._shm.buf
+        if _created:
+            buf[: self._segment_size()] = b"\x00" * self._segment_size()
+        self.barrier = ShmBarrier(buf[: 4 * self.world], self.world, rank)
+        self._channels: dict[tuple[int, int], ShmChannel] = {}
+        slot = HEADER_SIZE + self.capacity
+        base = self._barrier_bytes()
+        for src in range(self.world):
+            for dst in range(self.world):
+                if src == dst:
+                    continue
+                if rank not in (src, dst):
+                    continue
+                off = base + (src * self.world + dst) * slot
+                self._channels[(src, dst)] = ShmChannel(
+                    buf[off : off + slot], self.capacity, src=src, dst=dst
+                )
+        #: Optional per-step span sink: when a list, blocking waits append
+        #: ``{"name", "cat", "ts_ms", "dur_ms"}`` dicts (worker-local clock).
+        self.timeline: list[dict] | None = None
+        self.timeline_origin = 0.0
+
+    # ------------------------------------------------------------------
+    def _barrier_bytes(self) -> int:
+        # Round the barrier region up to 64 bytes so channel slots start
+        # cache-line aligned.
+        return (4 * self.world + 63) // 64 * 64
+
+    def _segment_size(self) -> int:
+        slot = HEADER_SIZE + self.capacity
+        return self._barrier_bytes() + self.world * self.world * slot
+
+    @classmethod
+    def create(cls, world: int, capacity: int = DEFAULT_CAPACITY,
+               rank: int = -1) -> "RankTransport":
+        """Allocate the segment (parent side). ``rank=-1``: observer only."""
+        import secrets
+
+        spec = {"name": f"repro-rt-{secrets.token_hex(6)}", "world": world,
+                "capacity": capacity}
+        return cls(spec, rank, _created=True)
+
+    # ------------------------------------------------------------------
+    def _record_wait(self, name: str, start: float, cat: str = "mp.wait") -> None:
+        if self.timeline is not None:
+            dur = _now() - start
+            self.timeline.append({
+                "name": name, "cat": cat,
+                "ts_ms": (start - self.timeline_origin) * 1e3,
+                "dur_ms": dur * 1e3,
+            })
+
+    def send(self, dst: int, arr: np.ndarray, timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        start = _now()
+        self._channels[(self.rank, dst)].send(arr, timeout)
+        self._record_wait(f"send->r{dst}", start)
+
+    def recv(self, src: int, timeout: float = DEFAULT_TIMEOUT_S) -> np.ndarray:
+        start = _now()
+        out = self._channels[(src, self.rank)].recv(timeout)
+        self._record_wait(f"recv<-r{src}", start)
+        return out
+
+    def exchange(self, peers: list[int], arr: np.ndarray,
+                 timeout: float = DEFAULT_TIMEOUT_S) -> dict[int, np.ndarray]:
+        """All-gather ``arr`` with ``peers`` (own rank excluded from sends).
+
+        Returns ``{rank: array}`` including our own contribution — the
+        caller reduces in deterministic rank order.
+        """
+        start = _now()
+        for peer in peers:
+            if peer != self.rank:
+                self._channels[(self.rank, peer)].send(arr, timeout)
+        out = {self.rank: arr}
+        for peer in peers:
+            if peer != self.rank:
+                out[peer] = self._channels[(peer, self.rank)].recv(timeout)
+        self._record_wait(f"exchange x{len(peers)}", start)
+        return out
+
+    def barrier_wait(self, timeout: float = DEFAULT_TIMEOUT_S) -> int:
+        start = _now()
+        gen = self.barrier.wait(timeout)
+        self._record_wait("barrier", start)
+        return gen
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the segment; the creator also unlinks it."""
+        if self._shm is None:
+            return
+        # Drop every exported memoryview before closing, or SharedMemory
+        # refuses with BufferError.
+        self._channels.clear()
+        self.barrier = None
+        shm, self._shm = self._shm, None
+        shm.close()
+        if self._created:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

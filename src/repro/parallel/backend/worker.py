@@ -1,0 +1,183 @@
+"""Entry point of one mp-backend worker process (one logical rank).
+
+A worker owns a single (stage, tp_rank) coordinate.  It rebuilds the full
+model replica from the parent's config — same seed, therefore identical
+initial weights — then activates a :class:`RankContext` so shard loops and
+collectives collapse to its own rank.  Per step it executes exactly the
+slice of the oracle's computation its rank would own:
+
+- stage 0 embeds the batch; later stages receive the boundary activation
+  over shared memory and turn it into a gradient leaf;
+- the stage's transformer layers run with the worker's tp shard;
+- the last stage computes the loss and starts backward; earlier stages
+  receive the relayed boundary gradient and resume their local graph;
+- stages > 0 relay their input-leaf gradient back to the previous stage.
+
+Control plane (weights, batches, results) is an ordinary
+``multiprocessing.Pipe`` — pickle is fine there; the data plane (activations,
+gradients, barrier) is exclusively the shared-memory transport.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+import numpy as np
+
+from repro.parallel.backend.context import RankContext, set_rank_context
+from repro.parallel.backend.transport import RankTransport
+from repro.tensor import Tensor
+
+
+def _disable_shm_tracking() -> None:
+    """Stop this process's resource tracker from adopting shm segments.
+
+    The parent owns (and unlinks) every segment.  Python 3.10–3.12 have no
+    ``track=False`` on ``SharedMemory``, and a spawned child's resource
+    tracker would otherwise unlink the parent's segment at child exit,
+    breaking every sibling still attached.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def register(name, rtype):
+        if rtype == "shared_memory":
+            return
+        original(name, rtype)
+
+    resource_tracker.register = register
+
+
+def _span(timeline: list[dict] | None, origin: float, name: str,
+          start: float) -> None:
+    if timeline is not None:
+        now = time.monotonic()
+        timeline.append({
+            "name": name, "cat": "mp.phase",
+            "ts_ms": (start - origin) * 1e3,
+            "dur_ms": (now - start) * 1e3,
+        })
+
+
+def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
+               collect_timeline: bool):
+    """One training step of this rank's slice; returns (loss, grads, events,
+    timeline)."""
+    transport = ctx.transport
+    backbone = model.backbone
+    partition = backbone.partition
+    pp = ctx.pp
+    stage = ctx.stage
+
+    timeline: list[dict] | None = [] if collect_timeline else None
+    origin = time.monotonic()
+    transport.timeline = timeline
+    transport.timeline_origin = origin
+
+    model.zero_grad()
+    model.tracker.reset()
+    transport.barrier_wait(ctx.timeout)
+
+    # ---- forward ------------------------------------------------------
+    t0 = time.monotonic()
+    if stage == 0:
+        x, mask4d = backbone.embed(input_ids, attention_mask)
+        x_in = None
+    else:
+        x_data = transport.recv(ctx.peer(stage - 1), ctx.timeout)
+        x_in = Tensor(x_data, requires_grad=True)
+        x = x_in
+        mask4d = backbone.attention_bias(attention_mask)
+    x = backbone.stage_forward(x, stage, mask4d)
+
+    loss = None
+    if stage < pp - 1:
+        from repro.parallel.collectives import pipeline_transfer
+
+        comp = backbone.site_compressor(f"boundary{stage}")
+        out = pipeline_transfer(
+            x, comp, model.tracker, boundary=stage,
+            layer=partition.boundaries()[stage],
+        )
+    else:
+        loss = model.loss_from_hidden(x, labels)
+    _span(timeline, origin, "forward", t0)
+
+    # ---- backward -----------------------------------------------------
+    t0 = time.monotonic()
+    if stage < pp - 1:
+        g = transport.recv(ctx.peer(stage + 1), ctx.timeout)
+        out.backward(g)
+    else:
+        loss.backward()
+    if stage > 0:
+        if x_in.grad is None:
+            raise RuntimeError(
+                f"stage {stage} produced no input gradient to relay"
+            )
+        transport.send(ctx.peer(stage - 1), np.ascontiguousarray(x_in.grad),
+                       ctx.timeout)
+    _span(timeline, origin, "backward", t0)
+
+    grads = {
+        name: p.grad for name, p in model.named_parameters()
+        if p.grad is not None
+    }
+    events = list(model.tracker.events)
+    transport.timeline = None
+    loss_val = float(loss.item()) if loss is not None else None
+    return loss_val, grads, events, timeline or []
+
+
+def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
+                 timeout: float) -> None:
+    """Process target: attach transport, build the replica, serve commands.
+
+    ``rank_info`` carries tp/pp/tp_rank/stage; ``model_spec`` carries the
+    model class, its config and extra constructor kwargs.  Every command is
+    answered (``("result", ...)`` or ``("error", rank, tb)``) so the parent
+    never waits on a silent failure.
+    """
+    _disable_shm_tracking()
+    rank = rank_info["stage"] * rank_info["tp"] + rank_info["tp_rank"]
+    transport = None
+    try:
+        transport = RankTransport(spec, rank)
+        model = model_spec["cls"](model_spec["config"], **model_spec["kwargs"])
+        ctx = RankContext(
+            tp=rank_info["tp"], pp=rank_info["pp"],
+            tp_rank=rank_info["tp_rank"], stage=rank_info["stage"],
+            transport=transport,
+            rng=np.random.default_rng((model_spec["config"].seed, rank)),
+            timeout=timeout,
+        )
+        set_rank_context(ctx)
+        conn.send(("ready", rank))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "shutdown":
+                break
+            if cmd == "weights":
+                model.load_state_dict(msg[1])
+            elif cmd == "step":
+                _, input_ids, labels, attention_mask, collect = msg
+                result = _spmd_step(model, ctx, input_ids, labels,
+                                    attention_mask, collect)
+                conn.send(("result", rank, *result))
+            else:
+                raise RuntimeError(f"unknown command {cmd!r}")
+    except EOFError:
+        pass  # parent went away; nothing to report to
+    except BaseException:
+        try:
+            conn.send(("error", rank, traceback.format_exc()))
+        except OSError:
+            pass
+    finally:
+        set_rank_context(None)
+        if transport is not None:
+            transport.close()
+        conn.close()

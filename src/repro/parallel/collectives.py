@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.compression.base import BYTES_FP16, Compressor
 from repro.compression.autoencoder import AutoencoderCompressor
+from repro.parallel.backend.context import rank_context
 from repro.tensor import Tensor
 
 __all__ = [
@@ -164,6 +165,26 @@ def tp_broadcast(x: Tensor, world: int, tracker: CommTracker, *, layer: int | No
     if world <= 1:
         return x
     shape = tuple(x.shape)
+    ctx = rank_context()
+
+    if ctx is not None and ctx.tp > 1:
+        # SPMD: each tp peer computes a *partial* input-gradient from its
+        # own shard path; the backward all-reduce is a real exchange, and
+        # summation runs in rank order so the 2-term float sums match the
+        # oracle's autograd accumulation bitwise.
+        def backward(g):
+            gathered = ctx.transport.exchange(
+                ctx.tp_peers(), np.ascontiguousarray(g), ctx.timeout
+            )
+            g_sum = _sum_rank_order(gathered, ctx.tp_peers())
+            if ctx.records:
+                tracker.record(
+                    CommEvent("all_reduce", "tp", "backward", "none",
+                              dense_bytes(shape), world, shape, layer, site)
+                )
+            return (g_sum,)
+
+        return Tensor._make(x.data, (x,), backward)
 
     def backward(g):
         tracker.record(
@@ -207,6 +228,15 @@ def tp_all_reduce(
     """
     if not partials:
         raise ValueError("tp_all_reduce needs at least one partial")
+    ctx = rank_context()
+    if ctx is not None and ctx.tp > 1:
+        if len(partials) != 1:
+            raise ValueError(
+                f"SPMD tp_all_reduce expects exactly the local partial, "
+                f"got {len(partials)}"
+            )
+        return _tp_all_reduce_spmd(partials[0], compressor, tracker, ctx,
+                                   layer=layer, site=site)
     world = len(partials)
     shape = tuple(partials[0].shape)
     for p in partials[1:]:
@@ -289,6 +319,101 @@ def tp_all_reduce(
     )
 
 
+def _tp_all_reduce_spmd(
+    own: Tensor,
+    compressor: Compressor,
+    tracker: CommTracker,
+    ctx,
+    *,
+    layer: int | None = None,
+    site: str = "",
+) -> Tensor:
+    """The ``g`` op inside one mp worker: a real exchange over shm.
+
+    Semantics mirror the three in-process paths exactly; only the *where*
+    changes.  Codecs run rank-local before anything hits the wire, peer
+    contributions are summed in rank order 0..tp-1 (bitwise-commutative at
+    tp<=2), and only the stage's designated recorder (tp rank 0) logs
+    events so the merged multiset matches the oracle event-for-event.
+    Fidelity probes are an in-process observability feature and are not
+    consulted here.
+    """
+    world = ctx.tp
+    shape = tuple(own.shape)
+    peers = ctx.tp_peers()
+
+    if _is_identity(compressor):
+        gathered = ctx.transport.exchange(peers, own.data, ctx.timeout)
+        out_data = _sum_rank_order(gathered, peers)
+
+        def passthrough(g):
+            return (g,)
+
+        out = Tensor._make(out_data, (own,), passthrough)
+        if ctx.records:
+            tracker.record(
+                CommEvent("all_reduce", "tp", "forward", "none", dense_bytes(shape),
+                          world, shape, layer, site)
+            )
+        return _with_backward_event(
+            out, tracker,
+            CommEvent("all_reduce", "tp", "backward", "none", dense_bytes(shape),
+                      world, shape, layer, site),
+            enabled=ctx.records,
+        )
+
+    if isinstance(compressor, AutoencoderCompressor) or (
+        compressor.allreduce_compatible and compressor.learnable
+    ):
+        code = compressor.encode(own)
+        gathered = ctx.transport.exchange(peers, code.data, ctx.timeout)
+        code_sum_data = _sum_rank_order(gathered, peers)
+
+        def passthrough(g):
+            # d(sum of codes)/d(own code) = I; the downstream gradient is
+            # already replicated across tp peers, so no exchange is needed.
+            return (g,)
+
+        code_sum = Tensor._make(code_sum_data, (code,), passthrough)
+        code_bytes = int(np.prod(code_sum.shape)) * BYTES_FP16
+        if ctx.records:
+            tracker.record(
+                CommEvent("all_reduce", "tp", "forward", compressor.name, code_bytes,
+                          world, shape, layer, site)
+            )
+        out = compressor.decode(code_sum)
+        return _with_backward_event(
+            out, tracker,
+            CommEvent("all_reduce", "tp", "backward", compressor.name,
+                      compressor.backward_bytes(shape), world, shape, layer, site),
+            enabled=ctx.records,
+        )
+
+    # All-gather path: compress/reconstruct our own partial with the same
+    # per-rank site key the oracle uses, then exchange reconstructions.
+    rank_site = _rank_site(site, layer, ctx.tp_rank)
+    rec = compressor.apply(own, site=rank_site)
+    gathered = ctx.transport.exchange(peers, rec.data, ctx.timeout)
+    out_data = _sum_rank_order(gathered, peers)
+
+    def passthrough(g):
+        return (g,)
+
+    out = Tensor._make(out_data, (rec,), passthrough)
+    msg_bytes = compressor.compressed_bytes(shape)
+    if ctx.records:
+        tracker.record(
+            CommEvent("all_gather", "tp", "forward", compressor.name, msg_bytes,
+                      world, shape, layer, site)
+        )
+    return _with_backward_event(
+        out, tracker,
+        CommEvent("all_gather", "tp", "backward", compressor.name,
+                  compressor.backward_bytes(shape), world, shape, layer, site),
+        enabled=ctx.records,
+    )
+
+
 def pipeline_transfer(
     x: Tensor,
     compressor: Compressor,
@@ -307,6 +432,34 @@ def pipeline_transfer(
     scheme = "none" if _is_identity(compressor) else compressor.name
     fwd_bytes = compressor.compressed_bytes(shape)
     bwd_bytes = compressor.backward_bytes(shape)
+    ctx = rank_context()
+
+    if ctx is not None:
+        # SPMD sender side: the codec runs rank-local (reconstruction and
+        # its backward stay in this worker's graph), the reconstruction
+        # ships to the next stage's same-tp-rank peer, and only tp rank 0
+        # logs the boundary's two events — the oracle records one logical
+        # send per boundary, not one per tp replica.  The receiving worker
+        # turns the payload into a gradient leaf; its grad is relayed back
+        # and enters this graph via ``Tensor.backward(grad)``.
+        if ctx.records:
+            tracker.record(
+                CommEvent("send", "pp", "forward", scheme, fwd_bytes, 2, shape,
+                          layer, f"boundary{boundary}")
+            )
+        if _is_identity(compressor):
+            out = x
+        else:
+            out = compressor.apply(x, site=f"boundary{boundary}")
+        out = _with_backward_event(
+            out, tracker,
+            CommEvent("send", "pp", "backward", scheme, bwd_bytes, 2, shape,
+                      layer, f"boundary{boundary}"),
+            enabled=ctx.records,
+        )
+        ctx.transport.send(ctx.peer(ctx.stage + 1), out.data, ctx.timeout)
+        return out
+
     tracker.record(
         CommEvent("send", "pp", "forward", scheme, fwd_bytes, 2, shape,
                   layer, f"boundary{boundary}")
@@ -359,11 +512,31 @@ def _sum_tensors(tensors: list[Tensor]) -> Tensor:
     return out
 
 
-def _with_backward_event(x: Tensor, tracker: CommTracker, event: CommEvent) -> Tensor:
-    """Wrap ``x`` so that a gradient passing through logs ``event``."""
+def _sum_rank_order(gathered: dict[int, np.ndarray], peers: list[int]) -> np.ndarray:
+    """Sum exchanged arrays in ascending rank order.
+
+    The oracle sums partials in list (= rank) order; reducing the SPMD
+    exchange the same way keeps every float addition identical, which at
+    tp<=2 means bitwise-identical results regardless of arrival order.
+    """
+    out = gathered[peers[0]]
+    for peer in peers[1:]:
+        out = out + gathered[peer]
+    return out
+
+
+def _with_backward_event(x: Tensor, tracker: CommTracker, event: CommEvent,
+                         enabled: bool = True) -> Tensor:
+    """Wrap ``x`` so that a gradient passing through logs ``event``.
+
+    ``enabled=False`` (a non-recording SPMD replica) still wraps — the
+    closure keeps backward op ordering identical across ranks — but skips
+    the record call, leaving the event to the designated recorder.
+    """
 
     def backward(g):
-        tracker.record(event)
+        if enabled:
+            tracker.record(event)
         return (g,)
 
     return Tensor._make(x.data, (x,), backward)

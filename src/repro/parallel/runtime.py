@@ -17,6 +17,7 @@ checkpoint for fine-tuning (the Table 8 workflow).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,9 +40,21 @@ __all__ = [
 ]
 
 
+def _default_backend() -> str:
+    """Execution backend, overridable via ``REPRO_BACKEND`` (CI matrix)."""
+    return os.environ.get("REPRO_BACKEND", "inproc")
+
+
 @dataclass
 class ModelParallelConfig:
-    """One experimental setting: model × layout × compression scheme."""
+    """One experimental setting: model × layout × compression scheme.
+
+    ``backend`` selects *where* the logical ranks execute (see
+    :mod:`repro.parallel.backend`): ``"inproc"`` is the serial in-process
+    oracle, ``"mp"`` spawns one worker process per rank.  The default is
+    read from the ``REPRO_BACKEND`` environment variable so a test run can
+    be flipped wholesale without touching call sites.
+    """
 
     model: TransformerConfig
     tp: int = 1
@@ -49,8 +62,15 @@ class ModelParallelConfig:
     scheme: str = "w/o"
     policy: CompressionPolicy | None = None
     seed: int = 0
+    backend: str = field(default_factory=_default_backend)
 
     def __post_init__(self):
+        from repro.parallel.backend.base import BACKEND_NAMES
+
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; valid: {list(BACKEND_NAMES)}"
+            )
         if self.policy is None:
             if self.scheme == "w/o":
                 self.policy = CompressionPolicy.none(self.model.num_layers)
@@ -141,7 +161,21 @@ class _ModelParallelBackbone(Module):
         }
 
     # ------------------------------------------------------------------
-    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+    @staticmethod
+    def attention_bias(attention_mask: np.ndarray | None) -> np.ndarray | None:
+        """Broadcastable additive-mask selector from a (b, s) 0/1 mask.
+
+        Pure function of the (replicated) input, so every pipeline stage
+        can recompute it locally instead of shipping it across boundaries.
+        """
+        if attention_mask is None:
+            return None
+        return (np.asarray(attention_mask) == 0)[:, None, None, :]
+
+    def embed(
+        self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None
+    ) -> tuple[Tensor, np.ndarray | None]:
+        """Token+position embedding (stage 0's preamble)."""
         input_ids = np.asarray(input_ids)
         b, s = input_ids.shape
         mc = self.config.model
@@ -150,13 +184,14 @@ class _ModelParallelBackbone(Module):
         pos = np.arange(s)[None, :].repeat(b, axis=0)
         x = self.token_embedding(input_ids) + self.position_embedding(pos)
         x = self.embed_dropout(self.embed_ln(x))
-        mask4d = None
-        if attention_mask is not None:
-            mask4d = (np.asarray(attention_mask) == 0)[:, None, None, :]
+        return x, self.attention_bias(attention_mask)
 
-        boundaries = set(self.partition.boundaries())
-        boundary_idx = 0
-        for layer_idx, layer in enumerate(self.layers):
+    def stage_forward(
+        self, x: Tensor, stage: int, mask4d: np.ndarray | None = None
+    ) -> Tensor:
+        """Run one pipeline stage's transformer layers (no boundary send)."""
+        for layer_idx in self.partition.layers_of(stage):
+            layer = self.layers[layer_idx]
             attn_c = self.site_compressor(f"layer{layer_idx}.attn")
             mlp_c = self.site_compressor(f"layer{layer_idx}.mlp")
             x = layer(
@@ -167,12 +202,18 @@ class _ModelParallelBackbone(Module):
                 mlp_compressor=mlp_c,
                 layer=layer_idx,
             )
-            if layer_idx in boundaries:
-                comp = self.site_compressor(f"boundary{boundary_idx}")
+        return x
+
+    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray | None = None) -> Tensor:
+        x, mask4d = self.embed(input_ids, attention_mask)
+        boundaries = self.partition.boundaries()
+        for stage in range(self.partition.pp):
+            x = self.stage_forward(x, stage, mask4d)
+            if stage < self.partition.pp - 1:
+                comp = self.site_compressor(f"boundary{stage}")
                 x = pipeline_transfer(
-                    x, comp, self.tracker, boundary=boundary_idx, layer=layer_idx
+                    x, comp, self.tracker, boundary=stage, layer=boundaries[stage]
                 )
-                boundary_idx += 1
         return x
 
 
@@ -197,11 +238,21 @@ class ModelParallelBertClassifier(Module):
         hidden = self.backbone(input_ids, attention_mask)
         return self.classifier(hidden[:, 0, :])
 
-    def loss(self, input_ids, labels, attention_mask=None) -> Tensor:
-        logits = self.forward(input_ids, attention_mask)
+    def loss_from_hidden(self, hidden: Tensor, labels) -> Tensor:
+        """Head + loss on an already-computed backbone output.
+
+        The mp backend's last pipeline stage enters here directly: the
+        hidden states it assembled locally are the same tensor the serial
+        forward would have produced.
+        """
+        logits = self.classifier(hidden[:, 0, :])
         if self.regression:
             return F.mse_loss(logits.reshape(-1), np.asarray(labels, dtype=np.float32))
         return F.cross_entropy(logits, np.asarray(labels))
+
+    def loss(self, input_ids, labels, attention_mask=None) -> Tensor:
+        hidden = self.backbone(input_ids, attention_mask)
+        return self.loss_from_hidden(hidden, labels)
 
     def predict(self, input_ids, attention_mask=None) -> np.ndarray:
         logits = self.forward(input_ids, attention_mask)
@@ -246,9 +297,15 @@ class ModelParallelBertPreTraining(Module):
         h = self.mlm_ln(F.gelu(self.mlm_dense(hidden)))
         return self.mlm_head(h)
 
-    def loss(self, input_ids, mlm_labels, attention_mask=None) -> Tensor:
-        logits = self.forward(input_ids, attention_mask)
+    def loss_from_hidden(self, hidden: Tensor, mlm_labels) -> Tensor:
+        """MLM head + loss on an already-computed backbone output."""
+        h = self.mlm_ln(F.gelu(self.mlm_dense(hidden)))
+        logits = self.mlm_head(h)
         return F.cross_entropy(logits, np.asarray(mlm_labels), ignore_index=self.IGNORE_INDEX)
+
+    def loss(self, input_ids, mlm_labels, attention_mask=None) -> Tensor:
+        hidden = self.backbone(input_ids, attention_mask)
+        return self.loss_from_hidden(hidden, mlm_labels)
 
     def backbone_state_dict(self) -> dict[str, np.ndarray]:
         """Backbone weights without AE parameters, for fine-tuning handoff."""

@@ -21,6 +21,7 @@ from repro.nn.attention import MultiHeadAttention, attention_core
 from repro.nn.layers import Dropout, LayerNorm, Linear
 from repro.nn.module import Module, Parameter
 from repro.nn.transformer import TransformerConfig, TransformerLayer
+from repro.parallel.backend.context import spmd_ranks
 from repro.parallel.collectives import CommTracker, tp_all_reduce, tp_broadcast
 from repro.tensor import Tensor, functional as F
 
@@ -92,8 +93,10 @@ class ColumnParallelLinear(Module):
         return obj
 
     def forward(self, x: Tensor) -> list[Tensor]:
+        # In-process this materializes every rank's shard; inside an mp
+        # worker spmd_ranks() collapses the loop to the worker's own rank.
         outs = []
-        for r in range(self.tp):
+        for r in spmd_ranks(self.tp):
             o = x @ self.weight_shards[r]
             if self.bias_shards:
                 o = o + self.bias_shards[r]
@@ -141,9 +144,10 @@ class RowParallelLinear(Module):
         return obj
 
     def forward(self, x_shards: list[Tensor]) -> list[Tensor]:
-        if len(x_shards) != self.tp:
-            raise ValueError(f"expected {self.tp} input shards, got {len(x_shards)}")
-        return [x_shards[r] @ self.weight_shards[r] for r in range(self.tp)]
+        ranks = spmd_ranks(self.tp)
+        if len(x_shards) != len(ranks):
+            raise ValueError(f"expected {len(ranks)} input shards, got {len(x_shards)}")
+        return [x_shards[i] @ self.weight_shards[r] for i, r in enumerate(ranks)]
 
 
 class ParallelMLP(Module):
@@ -254,7 +258,7 @@ class ParallelAttention(Module):
         b, s, _ = x.shape
         slice_w = self.hidden // self.tp
         ctx_shards = []
-        for r in range(self.tp):
+        for r in spmd_ranks(self.tp):
             qkv = x @ self._qkv_weights[r] + self._qkv_biases[r]
             q = self._split_heads(qkv[:, :, :slice_w], b, s)
             k = self._split_heads(qkv[:, :, slice_w : 2 * slice_w], b, s)

@@ -106,8 +106,23 @@ def finetune_on_task(
                              seed=seed)
     if train_config is None:
         train_config = TrainConfig(epochs=spec.epochs, lr=1e-3, seed=seed)
-    trainer = FineTuneTrainer(model, train_config, recorder=recorder)
-    history = trainer.train(train)
+
+    # `backend="inproc"` stays on the historical in-process path; anything
+    # else (e.g. REPRO_BACKEND=mp) trains through the execution backend.
+    # Evaluation always runs on the parent model, whose weights the backend
+    # keeps current after every optimizer step.
+    backend = None
+    if mp_cfg.backend != "inproc":
+        from repro.parallel.backend import create_backend
+
+        backend = create_backend(mp_cfg.backend, model)
+    try:
+        trainer = FineTuneTrainer(model, train_config, recorder=recorder,
+                                  backend=backend)
+        history = trainer.train(train)
+    finally:
+        if backend is not None:
+            backend.close()
 
     scores = {
         split: evaluate_task(model, ds) for split, ds in evals.items()

@@ -46,14 +46,56 @@ class TrainConfig:
 
 
 class FineTuneTrainer:
-    """Adam + linear-warmup trainer over a materialized dataset."""
+    """Adam + linear-warmup trainer over a materialized dataset.
 
-    def __init__(self, model, config: TrainConfig, recorder: RunRecorder = NULL_RECORDER):
+    An optional :class:`~repro.parallel.backend.ExecutionBackend` routes the
+    forward/backward through worker processes (the mp backend); the default
+    (``backend=None``) keeps the historical in-process path, loss/grads
+    bitwise-identical by design.
+    """
+
+    def __init__(self, model, config: TrainConfig, recorder: RunRecorder = NULL_RECORDER,
+                 backend=None):
         self.model = model
         self.config = config
         self.optimizer = Adam(model.parameters(), lr=config.lr)
         self.history: list[float] = []
         self.recorder = recorder
+        self.backend = backend
+
+    def _backend_step(self, batch) -> float:
+        """One step through the execution backend's step protocol."""
+        rec = self.recorder
+        cfg = self.config
+        self.optimizer.zero_grad()
+        with rec.timer("forward"):
+            result = self.backend.train_step(batch.input_ids, batch.labels,
+                                             batch.attention_mask)
+        with rec.timer("backward"):
+            self.backend.apply_grads(self.model, result)
+        with rec.timer("optimizer"):
+            if cfg.max_grad_norm:
+                grad_norm = self.optimizer.clip_grad_norm(cfg.max_grad_norm)
+                rec.gauge("grad_norm", grad_norm)
+            self.optimizer.step()
+            self.backend.sync_weights(self.model)
+        return result.loss
+
+    def _inproc_step(self, batch) -> float:
+        rec = self.recorder
+        cfg = self.config
+        self.optimizer.zero_grad()
+        with rec.timer("forward"):
+            loss = self.model.loss(batch.input_ids, batch.labels,
+                                   batch.attention_mask)
+        with rec.timer("backward"):
+            loss.backward()
+        with rec.timer("optimizer"):
+            if cfg.max_grad_norm:
+                grad_norm = self.optimizer.clip_grad_norm(cfg.max_grad_norm)
+                rec.gauge("grad_norm", grad_norm)
+            self.optimizer.step()
+        return loss.item()
 
     def train(self, dataset: GlueDataset) -> list[float]:
         """Run the configured number of epochs; returns per-step losses."""
@@ -71,21 +113,14 @@ class FineTuneTrainer:
         for _ in range(cfg.epochs):
             for batch in batch_iter(dataset, cfg.batch_size, rng=rng):
                 with rec.step():
-                    self.optimizer.zero_grad()
-                    with rec.timer("forward"):
-                        loss = self.model.loss(batch.input_ids, batch.labels,
-                                               batch.attention_mask)
-                    with rec.timer("backward"):
-                        loss.backward()
-                    with rec.timer("optimizer"):
-                        if cfg.max_grad_norm:
-                            grad_norm = self.optimizer.clip_grad_norm(cfg.max_grad_norm)
-                            rec.gauge("grad_norm", grad_norm)
-                        self.optimizer.step()
+                    if self.backend is not None:
+                        loss_val = self._backend_step(batch)
+                    else:
+                        loss_val = self._inproc_step(batch)
                     rec.gauge("lr", schedule.step())
-                    rec.gauge("loss", loss.item())
+                    rec.gauge("loss", loss_val)
                     rec.count("samples", len(batch.labels))
-                    self.history.append(loss.item())
+                    self.history.append(loss_val)
         return self.history
 
 

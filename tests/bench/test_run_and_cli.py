@@ -125,6 +125,10 @@ class TestCli:
         assert main(["compare", slow_path, "--baseline", bench_path]) == 1
         err = capsys.readouterr().err
         assert "FAIL" in err
+        # The verdict names every offender with both values: the summary
+        # table is filtered, so the FAIL message itself must be actionable.
+        assert "mp_step/tp2pp2/A2 :: wall_ms:" in err
+        assert "baseline=" in err and "candidate=" in err
 
     def test_compare_missing_candidate_exits_2(self, tmp_path, capsys):
         assert main(["compare", "--dir", str(tmp_path)]) == 2

@@ -1,6 +1,13 @@
 """The pinned suite: full scheme × layout coverage, stable ids."""
 
-from repro.bench.suite import LAYOUTS, SCHEMES, BenchCase, default_suite, scheme_slug
+from repro.bench.suite import (
+    BACKEND_SCHEMES,
+    LAYOUTS,
+    SCHEMES,
+    BenchCase,
+    default_suite,
+    scheme_slug,
+)
 
 
 class TestDefaultSuite:
@@ -26,4 +33,17 @@ class TestDefaultSuite:
 
     def test_case_params(self):
         case = BenchCase(id="x", kind="sim", scheme="Q2", tp=2, pp=2)
-        assert case.params() == {"scheme": "Q2", "tp": 2, "pp": 2}
+        assert case.params() == {"scheme": "Q2", "tp": 2, "pp": 2,
+                                 "backend": "inproc"}
+
+    def test_backend_step_covers_both_backends(self):
+        suite = default_suite()
+        cells = {(c.backend, c.scheme, c.tp, c.pp)
+                 for c in suite if c.kind == "backend_step"}
+        assert cells == {(b, s, tp, pp)
+                         for b in ("inproc", "mp")
+                         for s in BACKEND_SCHEMES
+                         for tp, pp in LAYOUTS}
+        mp_cases = [c for c in suite
+                    if c.kind == "backend_step" and c.backend == "mp"]
+        assert len(mp_cases) >= 6  # acceptance floor for --quick coverage

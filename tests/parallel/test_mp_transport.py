@@ -1,0 +1,243 @@
+"""Stress tests for the shared-memory transport under the mp backend.
+
+Everything here runs in one process: ``ShmChannel`` works over any
+writable buffer, so the single-producer/single-consumer protocol is
+exercised over plain bytearrays, and ``RankTransport`` peers attach to
+the same segment from threads.  The multi-process path on top of this
+protocol is covered by ``test_backend_equivalence.py``.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.parallel.backend import (
+    BackendError,
+    HEADER_SIZE,
+    RankTransport,
+    ShmBarrier,
+    ShmChannel,
+)
+
+CAPACITY = 1 << 16
+
+WIRE_DTYPES = ["float32", "float16", "float64", "int32", "int64", "uint8", "bool"]
+
+
+def make_pair(capacity=CAPACITY, src=0, dst=1):
+    """Sender and receiver views of one channel slot."""
+    buf = bytearray(HEADER_SIZE + capacity)
+    tx = ShmChannel(buf, capacity, src=src, dst=dst)
+    rx = ShmChannel(buf, capacity, src=src, dst=dst)
+    return tx, rx
+
+
+class TestShmChannel:
+    def test_round_trip_preserves_dtype_shape_and_bytes(self):
+        tx, rx = make_pair()
+        arr = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        tx.send(arr)
+        out = rx.recv()
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+        assert np.array_equal(out, arr)
+
+    @pytest.mark.parametrize("dtype", WIRE_DTYPES)
+    def test_every_wire_dtype_round_trips(self, dtype):
+        tx, rx = make_pair()
+        rng = np.random.default_rng(3)
+        arr = (rng.random((5, 7)) * 100).astype(dtype)
+        tx.send(arr)
+        out = rx.recv()
+        assert out.dtype == np.dtype(dtype)
+        assert np.array_equal(out, arr)
+
+    def test_zero_row_tensor_round_trips(self):
+        """0-element payloads still carry dtype and shape in the header."""
+        tx, rx = make_pair()
+        for shape in [(0, 8), (0,), (4, 0, 2)]:
+            arr = np.empty(shape, dtype=np.float32)
+            tx.send(arr)
+            out = rx.recv()
+            assert out.shape == shape and out.dtype == np.float32
+
+    def test_200_randomized_shapes_per_dtype(self):
+        """Soak the mailbox: many sequential transfers, random shapes."""
+        rng = np.random.default_rng(0)
+        for dtype in ("float32", "float16"):
+            tx, rx = make_pair()
+            for _ in range(200):
+                ndim = int(rng.integers(0, 4))
+                shape = tuple(int(rng.integers(0, 9)) for _ in range(ndim))
+                arr = rng.standard_normal(shape).astype(dtype)
+                tx.send(arr)
+                out = rx.recv()
+                assert out.dtype == arr.dtype and out.shape == arr.shape
+                assert np.array_equal(out, arr)
+
+    def test_noncontiguous_input_is_sent_contiguously(self):
+        tx, rx = make_pair()
+        arr = np.arange(36, dtype=np.float32).reshape(6, 6)[::2, ::3]
+        assert not arr.flags["C_CONTIGUOUS"]
+        tx.send(arr)
+        assert np.array_equal(rx.recv(), arr)
+
+    def test_seq_numbers_are_monotonic_across_messages(self):
+        tx, rx = make_pair()
+        for i in range(5):
+            tx.send(np.full((2,), i, dtype=np.int64))
+            assert rx.recv()[0] == i
+        assert tx._send_seq == rx._recv_seq == 5
+
+    def test_out_of_order_message_raises(self):
+        tx, rx = make_pair()
+        tx.send(np.zeros(1, dtype=np.float32))
+        rx._recv_seq = 7  # receiver desyncs: next seq must be 8, got 1
+        with pytest.raises(BackendError, match="out-of-order"):
+            rx.recv()
+
+    def test_corrupted_magic_raises_instead_of_decoding_garbage(self):
+        tx, rx = make_pair()
+        tx.send(np.zeros(3, dtype=np.float32))
+        import struct
+
+        struct.pack_into("<I", tx._buf, 8, 0xDEADBEEF)  # clobber magic field
+        with pytest.raises(BackendError, match="bad magic"):
+            rx.recv()
+
+    def test_payload_over_capacity_raises_typed_error(self):
+        tx, _ = make_pair(capacity=64)
+        with pytest.raises(BackendError, match="exceeds channel capacity"):
+            tx.send(np.zeros(64, dtype=np.float64))
+
+    def test_unsupported_dtype_raises(self):
+        tx, _ = make_pair()
+        with pytest.raises(BackendError, match="unsupported wire dtype"):
+            tx.send(np.zeros(2, dtype=np.complex64))
+
+    def test_send_into_full_slot_times_out_naming_receiver(self):
+        tx, _ = make_pair(src=2, dst=5)
+        tx.send(np.zeros(1, dtype=np.float32))
+        with pytest.raises(BackendError, match="rank 5") as exc:
+            tx.send(np.zeros(1, dtype=np.float32), timeout=0.05)
+        assert exc.value.rank == 5
+
+    def test_recv_from_empty_slot_times_out_naming_sender(self):
+        _, rx = make_pair(src=3, dst=0)
+        with pytest.raises(BackendError, match="rank 3") as exc:
+            rx.recv(timeout=0.05)
+        assert exc.value.rank == 3
+
+    def test_buffer_too_small_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="too small"):
+            ShmChannel(bytearray(HEADER_SIZE), 64, src=0, dst=1)
+
+
+class TestShmBarrier:
+    def test_single_rank_world_advances_generations(self):
+        buf = bytearray(4)
+        barrier = ShmBarrier(buf, world=1, rank=0)
+        assert barrier.wait() == 1
+        assert barrier.wait() == 2
+
+    def test_timeout_names_the_straggler_rank(self):
+        buf = bytearray(8)
+        barrier = ShmBarrier(buf, world=2, rank=0)
+        with pytest.raises(BackendError, match="rank 1") as exc:
+            barrier.wait(timeout=0.05)
+        assert exc.value.rank == 1
+
+
+class TestRankTransport:
+    def test_exchange_between_threaded_peers(self):
+        """Two attached peers all-gather over the creator's segment."""
+        creator = RankTransport.create(world=2)
+        results = {}
+
+        def run(rank):
+            peer = RankTransport(creator.spec, rank)
+            try:
+                arr = np.full((3, 3), float(rank), dtype=np.float32)
+                results[rank] = peer.exchange([0, 1], arr, timeout=10.0)
+            finally:
+                peer.close()
+
+        try:
+            threads = [threading.Thread(target=run, args=(r,)) for r in (0, 1)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            for rank in (0, 1):
+                gathered = results[rank]
+                assert set(gathered) == {0, 1}
+                for src, arr in gathered.items():
+                    assert np.array_equal(
+                        arr, np.full((3, 3), float(src), dtype=np.float32))
+        finally:
+            creator.close()
+
+    def test_send_recv_and_barrier_between_threaded_peers(self):
+        creator = RankTransport.create(world=2)
+        received = {}
+
+        def sender():
+            peer = RankTransport(creator.spec, 0)
+            try:
+                peer.barrier_wait(timeout=10.0)
+                peer.send(1, np.arange(10, dtype=np.int32), timeout=10.0)
+            finally:
+                peer.close()
+
+        def receiver():
+            peer = RankTransport(creator.spec, 1)
+            try:
+                peer.barrier_wait(timeout=10.0)
+                received["arr"] = peer.recv(0, timeout=10.0)
+            finally:
+                peer.close()
+
+        try:
+            threads = [threading.Thread(target=sender),
+                       threading.Thread(target=receiver)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            assert np.array_equal(received["arr"], np.arange(10, dtype=np.int32))
+        finally:
+            creator.close()
+
+    def test_wait_spans_recorded_when_timeline_attached(self):
+        creator = RankTransport.create(world=2)
+        try:
+            a = RankTransport(creator.spec, 0)
+            b = RankTransport(creator.spec, 1)
+            try:
+                a.timeline = []
+                a.send(1, np.zeros(4, dtype=np.float32))
+                b.recv(0)
+                assert [s["name"] for s in a.timeline] == ["send->r1"]
+                assert all(s["cat"] == "mp.wait" for s in a.timeline)
+            finally:
+                a.close()
+                b.close()
+        finally:
+            creator.close()
+
+    def test_segment_unlinked_after_creator_close(self):
+        creator = RankTransport.create(world=2)
+        spec = dict(creator.spec)
+        creator.close()
+        with pytest.raises(BackendError, match="gone"):
+            RankTransport(spec, 0)
+
+    def test_close_is_idempotent_and_no_leak_across_constructions(self):
+        """Repeated create/close cycles never collide or leak segments."""
+        names = set()
+        for _ in range(10):
+            t = RankTransport.create(world=2, capacity=1 << 12)
+            names.add(t.spec["name"])
+            t.close()
+            t.close()  # second close is a no-op
+        assert len(names) == 10
