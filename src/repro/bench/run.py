@@ -135,7 +135,8 @@ def _run_backend_step(case: BenchCase, warmup: int, rounds: int) -> dict:
     cfg = ModelParallelConfig(
         default_accuracy_model(num_classes=2, seed=0),
         tp=case.tp, pp=case.pp, scheme=case.scheme, seed=0,
-        backend=case.backend,
+        backend=case.backend, pipeline_schedule=case.schedule,
+        num_microbatches=case.microbatches,
     )
     model = ModelParallelBertClassifier(cfg)
     optimizer = Adam(model.parameters(), lr=1e-3)
@@ -188,7 +189,8 @@ def _sim_setting(case: BenchCase):
     world = case.tp * case.pp
     topo = ClusterTopology(1, world, LinkType.PCIE)
     return SimSetting(topo, case.tp, case.pp, 32, 512,
-                      num_microbatches=4, scheme=case.scheme)
+                      num_microbatches=4, scheme=case.scheme,
+                      schedule=case.schedule)
 
 
 def _run_sim(case: BenchCase, warmup: int, rounds: int) -> dict:
@@ -217,8 +219,42 @@ _RUNNERS = {"mp_step": _run_mp_step, "finetune": _run_finetune,
 _TRACE_CASE_ID = "mp_step/tp2pp2/A2"
 
 
+def _worker_timeline_trace(case: BenchCase) -> dict:
+    """One real 1F1B mp-backend step with per-rank timelines.
+
+    The worker timelines carry the ``mp.async`` spans — issued collectives
+    and staged ring sends still in flight — which render as Chrome async
+    ``b``/``e`` pairs; CI's bench smoke asserts the artifact contains at
+    least one, pinning the overlap machinery into the exported trace.
+    """
+    from repro.parallel import ModelParallelBertClassifier, ModelParallelConfig
+    from repro.parallel.backend import create_backend
+    from repro.obs.trace import worker_timelines_trace
+    from repro.training.finetune import default_accuracy_model
+
+    cfg = ModelParallelConfig(
+        default_accuracy_model(num_classes=2, seed=0),
+        tp=case.tp, pp=case.pp, scheme=case.scheme, seed=0, backend="mp",
+        pipeline_schedule="1f1b", num_microbatches=4,
+    )
+    model = ModelParallelBertClassifier(cfg)
+    rng = np.random.default_rng(0)
+    input_ids = rng.integers(0, cfg.model.vocab_size, size=(16, 16))
+    labels = rng.integers(0, 2, size=16)
+    backend = create_backend("mp", model, collect_timelines=True)
+    try:
+        result = backend.train_step(input_ids, labels, None)
+    finally:
+        backend.close()
+    return worker_timelines_trace(
+        result.timelines,
+        {"run_id": f"{case.id} (mp 1f1b m=4)", "schedule": "1f1b"},
+    )
+
+
 def _trace_artifact(suite: list[BenchCase]) -> dict | None:
-    """Merged (profiled real step | simulated iteration) Chrome trace."""
+    """Merged (profiled real step | simulated iteration | mp worker
+    timelines) Chrome trace."""
     from repro.obs.trace import merge_traces, profiler_trace, simulated_iteration_trace
 
     matches = [c for c in suite if c.id == _TRACE_CASE_ID]
@@ -228,7 +264,9 @@ def _trace_artifact(suite: list[BenchCase]) -> dict | None:
     _, _, prof = _profile_mp_step(case, record_events=True)
     profiled = profiler_trace(prof, {"run_id": case.id})
     simulated = simulated_iteration_trace(_sim_setting(case))
-    return merge_traces(profiled, simulated, meta={"bench_case": case.id})
+    workers = _worker_timeline_trace(case)
+    return merge_traces(profiled, simulated, workers,
+                        meta={"bench_case": case.id})
 
 
 # ----------------------------------------------------------------------

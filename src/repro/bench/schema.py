@@ -59,6 +59,9 @@ BENCH_SCHEMA = {
                             "tp": {"type": "integer", "minimum": 1},
                             "pp": {"type": "integer", "minimum": 1},
                             "backend": {"type": "string"},
+                            "schedule": {"type": "string",
+                                         "enum": ["gpipe", "1f1b"]},
+                            "microbatches": {"type": "integer", "minimum": 1},
                         },
                     },
                     "wall_ms": _WALL,

@@ -16,7 +16,9 @@ Four kinds of case, mirroring how the repo is actually exercised:
   backend (``inproc`` oracle vs the ``mp`` process gang), timing the
   process/shared-memory overhead against the serial path.  Deterministic
   metrics are limited to comm events/bytes: losses are machine-dependent
-  (BLAS summation order), comm accounting is not.
+  (BLAS summation order), comm accounting is not.  Pipelined layouts add
+  microbatched 1F1B variants (``.../1f1b-m4``) on the mp backend — the
+  schedule/overlap hot path this suite's wall times gate.
 
 Case ids are stable strings (``mp_step/tp2pp1/T2``); the compare gate
 matches baseline and candidate by id.
@@ -56,10 +58,13 @@ class BenchCase:
     tp: int = 1
     pp: int = 1
     backend: str = "inproc"
+    schedule: str = "gpipe"
+    microbatches: int = 1
 
     def params(self) -> dict:
         return {"scheme": self.scheme, "tp": self.tp, "pp": self.pp,
-                "backend": self.backend}
+                "backend": self.backend, "schedule": self.schedule,
+                "microbatches": self.microbatches}
 
 
 def default_suite() -> list[BenchCase]:
@@ -79,6 +84,16 @@ def default_suite() -> list[BenchCase]:
                 id=f"sim/tp{tp}pp{pp}/{scheme_slug(scheme)}",
                 kind="sim", scheme=scheme, tp=tp, pp=pp,
             ))
+    # 1F1B simulator rows: same grid, pipelined layouts only (pp > 1 is
+    # where the schedules differ), m=4 as in the gpipe sim rows.
+    for tp, pp in LAYOUTS:
+        if pp == 1:
+            continue
+        for scheme in SCHEMES:
+            cases.append(BenchCase(
+                id=f"sim/tp{tp}pp{pp}/{scheme_slug(scheme)}/1f1b",
+                kind="sim", scheme=scheme, tp=tp, pp=pp, schedule="1f1b",
+            ))
     # Execution-backend comparison: the same step through the inproc oracle
     # and the mp process gang, per layout × scheme.  Wall times quantify
     # the process/shm overhead; the deterministic comm metrics must be
@@ -91,4 +106,16 @@ def default_suite() -> list[BenchCase]:
                     kind="backend_step", scheme=scheme, tp=tp, pp=pp,
                     backend=backend,
                 ))
+    # Microbatched 1F1B steps through the mp gang: the schedule only runs
+    # for real on the process backend (the inproc oracle is a serial
+    # microbatch loop), and only a real pipeline exercises it.
+    for tp, pp in LAYOUTS:
+        if pp == 1:
+            continue
+        for scheme in BACKEND_SCHEMES:
+            cases.append(BenchCase(
+                id=f"backend_step/mp/tp{tp}pp{pp}/{scheme_slug(scheme)}/1f1b-m4",
+                kind="backend_step", scheme=scheme, tp=tp, pp=pp,
+                backend="mp", schedule="1f1b", microbatches=4,
+            ))
     return cases

@@ -114,13 +114,26 @@ def _g_op(spec) -> str:
 
 # ----------------------------------------------------------------------
 def expected_events(config, batch: int, seq: int) -> Counter:
-    """Closed-form expected event multiset for one forward+backward."""
+    """Closed-form expected event multiset for one training iteration.
+
+    With ``config.num_microbatches = m > 1`` every site fires once per
+    microbatch on the per-microbatch slice of the batch: event counts
+    scale by ``m`` and wire bytes shrink to ``batch/m`` rows.  The
+    multiset is *schedule-independent* — GPipe and 1F1B reorder the same
+    per-microbatch work, so any count difference between schedules is a
+    routing bug this oracle must flag.
+    """
     from repro.compression.notation import SCHEME_LABELS, scheme_spec
     from repro.parallel.pipeline import PipelinePartition
 
+    m = getattr(config, "num_microbatches", 1)
+    if batch % m:
+        raise ValueError(
+            f"batch size {batch} is not divisible by num_microbatches {m}"
+        )
     spec = scheme_spec(config.scheme)
     none_spec = SCHEME_LABELS["w/o"]
-    shape = (batch, seq, config.model.hidden)
+    shape = (batch // m, seq, config.model.hidden)
     n = int(np.prod(shape))
     expected: Counter = Counter()
 
@@ -132,12 +145,12 @@ def expected_events(config, batch: int, seq: int) -> Counter:
             for site in ("attn", "mlp"):
                 # g op: forward collective + its tracked backward message.
                 expected[EventKey(_g_op(active), "tp", "forward", name,
-                                  _fwd_bytes(active, shape), config.tp, layer, site)] += 1
+                                  _fwd_bytes(active, shape), config.tp, layer, site)] += m
                 expected[EventKey(_g_op(active), "tp", "backward", name,
-                                  _bwd_bytes(active, shape), config.tp, layer, site)] += 1
+                                  _bwd_bytes(active, shape), config.tp, layer, site)] += m
                 # f op: identity forward, dense all-reduce in backward.
                 expected[EventKey("all_reduce", "tp", "backward", "none",
-                                  _dense(n), config.tp, layer, site)] += 1
+                                  _dense(n), config.tp, layer, site)] += m
 
     partition = PipelinePartition.balanced(config.model.num_layers, config.pp)
     for b_idx, last_layer in enumerate(partition.boundaries()):
@@ -146,9 +159,9 @@ def expected_events(config, batch: int, seq: int) -> Counter:
         name = _FAMILY_EVENT_SCHEME[active.family]
         site = f"boundary{b_idx}"
         expected[EventKey("send", "pp", "forward", name,
-                          _fwd_bytes(active, shape), 2, last_layer, site)] += 1
+                          _fwd_bytes(active, shape), 2, last_layer, site)] += m
         expected[EventKey("send", "pp", "backward", name,
-                          _bwd_bytes(active, shape), 2, last_layer, site)] += 1
+                          _bwd_bytes(active, shape), 2, last_layer, site)] += m
     return expected
 
 
@@ -173,22 +186,35 @@ def compare_event_streams(expected: Counter, actual: Counter) -> list[str]:
 
 
 def check_layout(scheme: str, tp: int, pp: int, *, batch: int = 2, seq: int = 8,
-                 seed: int = 0) -> list[str]:
-    """Run one (scheme, tp, pp) cell and diff its event stream."""
+                 seed: int = 0, schedule: str = "gpipe",
+                 num_microbatches: int = 1) -> list[str]:
+    """Run one (scheme, tp, pp, schedule, m) cell and diff its event stream."""
     from repro.nn.transformer import TransformerConfig
+    from repro.parallel.backend import create_backend
     from repro.parallel.runtime import ModelParallelBertClassifier, ModelParallelConfig
 
     model_cfg = TransformerConfig(vocab_size=60, max_seq_len=16, hidden=32,
                                   num_layers=4, num_heads=4, dropout=0.0)
-    config = ModelParallelConfig(model_cfg, tp=tp, pp=pp, scheme=scheme, seed=seed)
+    config = ModelParallelConfig(model_cfg, tp=tp, pp=pp, scheme=scheme,
+                                 seed=seed, pipeline_schedule=schedule,
+                                 num_microbatches=num_microbatches)
     model = ModelParallelBertClassifier(config)
     rng = np.random.default_rng(seed)
     ids = rng.integers(0, model_cfg.vocab_size, size=(batch, seq))
-    model.loss(ids, np.zeros(batch, dtype=np.int64)).backward()
+    labels = np.zeros(batch, dtype=np.int64)
+    if num_microbatches == 1:
+        model.loss(ids, labels).backward()
+    else:
+        # The microbatched iteration routes through the backend's split
+        # loop, so the per-microbatch event stream is what gets diffed.
+        create_backend("inproc", model).train_step(ids, labels, None)
     problems = compare_event_streams(
         expected_events(config, batch, seq), observed_events(model.tracker)
     )
-    return [f"scheme {scheme!r} tp={tp} pp={pp}: {p}" for p in problems]
+    cell = f"scheme {scheme!r} tp={tp} pp={pp}"
+    if num_microbatches > 1 or schedule != "gpipe":
+        cell += f" schedule={schedule} m={num_microbatches}"
+    return [f"{cell}: {p}" for p in problems]
 
 
 def run_spmd_check(
@@ -200,4 +226,11 @@ def run_spmd_check(
     for scheme in schemes:
         for tp, pp in layouts:
             problems.extend(check_layout(scheme, tp, pp))
+            if pp > 1:
+                # Microbatched 1F1B cell: counts must scale by m and the
+                # schedule must not add, drop or resize any message.
+                problems.extend(check_layout(
+                    scheme, tp, pp, batch=4, schedule="1f1b",
+                    num_microbatches=2,
+                ))
     return problems

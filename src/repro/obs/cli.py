@@ -7,8 +7,10 @@ Usage::
                               [--task RTE] [--epochs 1] [--batch-size 32]
     python -m repro.obs sim-trace --out sim.json [--scheme A2]
                                   [--tp 2] [--pp 2] [--microbatches 4]
+                                  [--schedule 1f1b]
     python -m repro.obs mp-trace --out mp.json [--scheme A2]
-                                 [--tp 2] [--pp 2]
+                                 [--tp 2] [--pp 2] [--schedule 1f1b]
+                                 [--microbatches 4]
 
 ``report`` prints a per-run summary (gauges, phase timers, per-site
 compression fidelity when a sidecar ``*.fidelity.json`` exists) from a
@@ -174,9 +176,11 @@ def cmd_sim_trace(args: argparse.Namespace) -> int:
     setting = SimSetting(
         ClusterTopology.p3_8xlarge(), args.tp, args.pp, args.batch, args.seq,
         num_microbatches=args.microbatches, scheme=args.scheme,
+        schedule=args.schedule,
     )
     write_trace(simulated_iteration_trace(setting), args.out)
-    print(f"simulated {args.scheme} TP={args.tp} PP={args.pp} trace -> {args.out}")
+    print(f"simulated {args.scheme} TP={args.tp} PP={args.pp} "
+          f"{args.schedule} trace -> {args.out}")
     return 0
 
 
@@ -190,6 +194,7 @@ def cmd_mp_trace(args: argparse.Namespace) -> int:
     cfg = ModelParallelConfig(
         default_accuracy_model(num_classes=2, seed=0),
         tp=args.tp, pp=args.pp, scheme=args.scheme, seed=0, backend="mp",
+        pipeline_schedule=args.schedule, num_microbatches=args.microbatches,
     )
     model = ModelParallelBertClassifier(cfg)
     rng = np.random.default_rng(0)
@@ -238,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--batch", type=int, default=16)
     p_sim.add_argument("--seq", type=int, default=512)
     p_sim.add_argument("--microbatches", type=int, default=4)
+    p_sim.add_argument("--schedule", choices=["gpipe", "1f1b"], default="gpipe")
     p_sim.set_defaults(fn=cmd_sim_trace)
 
     p_mp = sub.add_parser("mp-trace",
@@ -248,6 +254,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_mp.add_argument("--pp", type=int, default=2)
     p_mp.add_argument("--batch", type=int, default=8)
     p_mp.add_argument("--seq", type=int, default=16)
+    p_mp.add_argument("--schedule", choices=["gpipe", "1f1b"], default="gpipe")
+    p_mp.add_argument("--microbatches", type=int, default=1)
     p_mp.set_defaults(fn=cmd_mp_trace)
     return parser
 

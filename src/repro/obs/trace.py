@@ -7,11 +7,12 @@ Two producers share one event format (the Trace Event Format's complete
 - :func:`trace_from_run` renders a :class:`~repro.obs.metrics.RunRecorder`
   JSONL run — one slice per step plus the per-phase timers, and a counter
   track per gauge (loss, grad-norm, lr).
-- :func:`simulated_iteration_trace` renders the GPipe schedule of one
-  :class:`~repro.simulator.SimSetting` — one track per pipeline stage with
-  per-microbatch forward/backward boxes, TP collective slices, encode/
-  decode kernel slices and per-boundary sends, so a Table-4 row becomes a
-  visual timeline.
+- :func:`simulated_iteration_trace` renders the pipeline schedule (GPipe
+  or 1F1B) of one :class:`~repro.simulator.SimSetting` — one track per
+  pipeline stage with per-microbatch forward/backward boxes at the
+  schedule's op start times, TP collective slices, encode/decode kernel
+  slices and per-boundary sends, so a Table-4 row becomes a visual
+  timeline.
 
 :func:`validate_against_breakdown` closes the loop: it recomputes every
 :class:`~repro.simulator.IterationBreakdown` column from the trace's
@@ -47,6 +48,7 @@ class _TraceBuilder:
     def __init__(self, process: str):
         self.events: list[dict] = []
         self._tids: dict[str, int] = {}
+        self._async_ids = 0
         self.pid = 1
         self.events.append({
             "ph": "M", "pid": self.pid, "tid": 0, "name": "process_name",
@@ -74,6 +76,29 @@ class _TraceBuilder:
         if args:
             event["args"] = args
         self.events.append(event)
+
+    def async_span(self, track: str, name: str, cat: str, start_ms: float,
+                   end_ms: float, args: dict | None = None) -> None:
+        """An async ``b``/``e`` pair: work in flight while the track's
+        ``X`` slices keep executing — Perfetto draws it as a floating bar
+        above the thread, which is exactly a ``CommHandle``'s issue→wait
+        window."""
+        if end_ms <= start_ms:
+            return
+        self._async_ids += 1
+        ident = f"0x{self._async_ids:x}"
+        tid = self.tid(track)
+        begin = {
+            "ph": "b", "pid": self.pid, "tid": tid, "name": name,
+            "cat": cat, "id": ident, "ts": start_ms * _MS_TO_US,
+        }
+        if args:
+            begin["args"] = args
+        self.events.append(begin)
+        self.events.append({
+            "ph": "e", "pid": self.pid, "tid": tid, "name": name,
+            "cat": cat, "id": ident, "ts": end_ms * _MS_TO_US,
+        })
 
     def instant(self, track: str, name: str, cat: str, ts_ms: float,
                 args: dict | None = None) -> None:
@@ -126,24 +151,25 @@ def trace_from_run(records: list[dict], meta: dict | None = None) -> dict:
 
 
 # ----------------------------------------------------------------------
-# Simulated GPipe iterations
+# Simulated pipeline iterations
 # ----------------------------------------------------------------------
 def simulated_iteration_trace(
     setting: SimSetting | IterationSimulator, cal: Calibration = CALIBRATION
 ) -> dict:
-    """Chrome trace of one simulated GPipe iteration.
+    """Chrome trace of one simulated pipeline iteration (GPipe or 1F1B).
 
-    One compute track per pipeline stage (forward boxes left-to-right,
-    backward boxes in drain order), one collective track per stage, one
-    encode/decode track per compressed stage and one track per pipeline
-    boundary.  Slice categories mirror the :class:`IterationBreakdown`
-    columns so :func:`validate_against_breakdown` can re-derive them.
+    One compute track per pipeline stage (F/B boxes at the schedule's op
+    start times — contiguous forward-then-backward regions under GPipe,
+    warmup/steady/drain interleaving under 1F1B), one collective track
+    per stage, one encode/decode track per compressed stage and one track
+    per pipeline boundary.  Slice categories mirror the
+    :class:`IterationBreakdown` columns so
+    :func:`validate_against_breakdown` can re-derive them.
     """
     sim = setting if isinstance(setting, IterationSimulator) else IterationSimulator(setting, cal)
     s = sim.s
     m = s.num_microbatches
     pp = s.pp
-    slots = m + pp - 1
     fwd_stage, bwd_stage = sim.stage_compute_ms()
     enc_mult, gpu_mult = sim.encdec_multipliers()
     site = sim.site_cost()
@@ -151,21 +177,22 @@ def simulated_iteration_trace(
 
     b = _TraceBuilder(
         f"simulated iteration: {s.scheme} TP={s.tp} PP={pp} "
-        f"b={s.micro_batch} s={s.seq} m={m}"
+        f"b={s.micro_batch} s={s.seq} m={m} {s.schedule}"
     )
-    fwd_end = slots * fwd_stage  # forward region makespan
-    bwd_end = fwd_end + slots * bwd_stage
+    fwd_end, _, _ = sim.compute_makespans()  # forward region makespan
+    op_starts = [sim.stage_op_starts(st) for st in range(pp)]
+    bwd_end = op_starts[0][1][m - 1] + bwd_stage  # stage 0 drains last
 
     for st in range(pp):
         compute = f"stage {st}"
+        f_starts, b_starts = op_starts[st]
         for i in range(m):
-            b.slice(compute, f"F{i}", "forward_compute", (st + i) * fwd_stage, fwd_stage)
-            b.slice(compute, f"B{i}", "backward_compute",
-                    fwd_end + ((pp - 1 - st) + i) * bwd_stage, bwd_stage)
+            b.slice(compute, f"F{i}", "forward_compute", f_starts[i], fwd_stage)
+            b.slice(compute, f"B{i}", "backward_compute", b_starts[i], bwd_stage)
 
         comm_track = f"stage {st} tp-comm"
-        fwd_cursor = st * fwd_stage
-        bwd_cursor = fwd_end + (pp - 1 - st) * bwd_stage
+        fwd_cursor = f_starts[0]
+        bwd_cursor = b_starts[0]
         for layer in s.partition.layers_of(st):
             comm_f = sim.tp_forward_comm_ms(sim.layer_compressed(layer))
             comm_b = sim.tp_backward_comm_ms()
@@ -179,7 +206,7 @@ def simulated_iteration_trace(
                     bwd_cursor += comm_b
 
         encdec_track = f"stage {st} enc/dec"
-        enc_cursor = st * fwd_stage
+        enc_cursor = f_starts[0]
         for layer in s.partition.layers_of(st):
             if not sim.layer_compressed(layer):
                 continue
@@ -200,13 +227,16 @@ def simulated_iteration_trace(
             track = f"boundary {bd}<->{bd + 1}"
             fwd_send, bwd_send = sim.boundary_send_ms(bd)
             for i in range(m):
-                b.slice(track, f"send mb{i}", "pipeline", (bd + i + 1) * fwd_stage, fwd_send)
+                # Forward send departs when the upstream stage finishes
+                # F_i; the gradient send when the downstream finishes B_i.
+                b.slice(track, f"send mb{i}", "pipeline",
+                        op_starts[bd][0][i] + fwd_stage, fwd_send)
                 b.slice(track, f"send-grad mb{i}", "pipeline",
-                        fwd_end + ((pp - 1 - bd) + i) * bwd_stage, bwd_send)
+                        op_starts[bd + 1][1][i] + bwd_stage, bwd_send)
             b.slice(track, "pipeline overhead", "pipeline", fwd_end,
                     sim.cal.pipeline_overhead_ms)
             if compressed_scheme and s.policy.boundary_compressed(last_layer):
-                cursor = (bd + 1) * fwd_stage
+                cursor = op_starts[bd][0][0] + fwd_stage
                 for _ in range(enc_mult):
                     b.slice(track, "boundary enc", "encode", cursor, bcost.encode_ms)
                     cursor += bcost.encode_ms
@@ -217,7 +247,7 @@ def simulated_iteration_trace(
     b.slice("optimizer", "optimizer step", "optimizer", bwd_end, sim.cal.optimizer_ms)
     return b.build({
         "scheme": s.scheme, "tp": s.tp, "pp": pp, "micro_batch": s.micro_batch,
-        "seq": s.seq, "num_microbatches": m,
+        "seq": s.seq, "num_microbatches": m, "schedule": s.schedule,
     })
 
 
@@ -270,14 +300,24 @@ def worker_timelines_trace(timelines: dict[int, list[dict]],
     shared wall clock.  Categories are ``mp.*``-prefixed (``mp.phase`` for
     compute phases, ``mp.wait`` for blocking transport waits) so a merged
     real+simulated trace never perturbs :func:`validate_against_breakdown`.
+
+    Spans recorded with category ``mp.async`` — a :class:`CommHandle`'s
+    issue→wait window, or a staged ring send still in flight — render as
+    Chrome async ``b``/``e`` pairs instead of ``X`` slices: the bar floats
+    above the rank's compute slices, making the comm/compute overlap
+    visible (and measurable) in Perfetto.
     """
     run_id = (meta or {}).get("run_id", "mp step")
     b = _TraceBuilder(f"mp workers: {run_id}")
     for rank in sorted(timelines):
         track = f"rank{rank}"
         for span in timelines[rank]:
-            b.slice(track, span["name"], span["cat"], span["ts_ms"],
-                    span["dur_ms"])
+            if span["cat"] == "mp.async":
+                b.async_span(track, span["name"], "mp.async", span["ts_ms"],
+                             span["ts_ms"] + span["dur_ms"])
+            else:
+                b.slice(track, span["name"], span["cat"], span["ts_ms"],
+                        span["dur_ms"])
     return b.build(meta)
 
 
@@ -315,7 +355,10 @@ def validate_against_breakdown(trace: dict, breakdown: IterationBreakdown) -> di
     *makespan* plus the forward collectives and enc/dec kernels; Backward
     is backward-compute makespan plus the backward ``f`` all-reduces and
     the AE's extra backward GEMMs; the remaining columns are plain sums of
-    their category's slices.
+    their category's slices.  ``overlap_ms`` is re-derived as the
+    intersection of the forward- and backward-compute windows — zero for
+    a GPipe trace, the steady-state interleave for 1F1B — so the same
+    validation covers both schedules.
     """
     sums: dict[str, float] = {}
     spans: dict[str, tuple[float, float]] = {}
@@ -338,6 +381,12 @@ def validate_against_breakdown(trace: dict, breakdown: IterationBreakdown) -> di
         lo, hi = spans[cat]
         return hi - lo
 
+    overlap = 0.0
+    if "forward_compute" in spans and "backward_compute" in spans:
+        f_lo, f_hi = spans["forward_compute"]
+        b_lo, b_hi = spans["backward_compute"]
+        overlap = max(0.0, min(f_hi, b_hi) - max(f_lo, b_lo))
+
     derived = {
         "forward_ms": makespan("forward_compute") + total("tensor_comm")
         + total("encode") + total("decode"),
@@ -348,6 +397,7 @@ def validate_against_breakdown(trace: dict, breakdown: IterationBreakdown) -> di
         "encode_ms": total("encode"),
         "decode_ms": total("decode"),
         "tensor_comm_ms": total("tensor_comm"),
+        "overlap_ms": overlap,
     }
     return {
         field: abs(derived[field] - getattr(breakdown, field)) for field in derived

@@ -21,8 +21,10 @@ from repro.parallel.backend.context import (
 )
 from repro.parallel.backend.transport import (
     DEFAULT_CAPACITY,
+    DEFAULT_SLOTS,
     DEFAULT_TIMEOUT_S,
     HEADER_SIZE,
+    ExchangeHandle,
     RankTransport,
     ShmBarrier,
     ShmChannel,
@@ -41,7 +43,9 @@ __all__ = [
     "set_rank_context",
     "spmd_ranks",
     "DEFAULT_CAPACITY",
+    "DEFAULT_SLOTS",
     "DEFAULT_TIMEOUT_S",
+    "ExchangeHandle",
     "HEADER_SIZE",
     "RankTransport",
     "ShmBarrier",

@@ -35,6 +35,11 @@ class RankContext:
     transport: object | None = None  # RankTransport; None in transport-less tests
     rng: np.random.Generator | None = None  # per-rank stream, seeded (seed, rank)
     timeout: float = 60.0
+    #: Issue/wait overlap for collectives.  ``False`` forces every
+    #: :class:`~repro.parallel.collectives.CommHandle` to complete at issue
+    #: time — the blocking reference path; results are bitwise-identical
+    #: either way (the overlap stress test asserts exactly that).
+    overlap: bool = True
 
     def __post_init__(self):
         if not (0 <= self.tp_rank < self.tp):

@@ -10,6 +10,11 @@ parameters, so :class:`StepResult.grads` is empty and ``apply_grads`` /
 from __future__ import annotations
 
 from repro.parallel.backend.base import ExecutionBackend, StepResult
+from repro.parallel.backend.microbatch import (
+    loss_grad_seed,
+    mean_loss,
+    split_microbatches,
+)
 
 __all__ = ["InprocBackend"]
 
@@ -24,9 +29,25 @@ class InprocBackend(ExecutionBackend):
         model = self.model
         model.tracker.reset()
         model.zero_grad()
-        loss = model.loss(input_ids, labels, attention_mask)
-        loss.backward()
-        return StepResult(loss=loss.item(), grads={},
+        m = getattr(model.config, "num_microbatches", 1)
+        if m == 1:
+            loss = model.loss(input_ids, labels, attention_mask)
+            loss.backward()
+            loss_val = loss.item()
+        else:
+            # The serial image of a microbatched pipeline iteration: each
+            # microbatch runs forward + backward in order, so gradients,
+            # compressor RNG streams and error-feedback residuals advance
+            # exactly as the schedule-driven workers advance them.
+            seed = loss_grad_seed(m)
+            vals = []
+            for mb_ids, mb_labels, mb_mask in split_microbatches(
+                    input_ids, labels, attention_mask, m):
+                mb_loss = model.loss(mb_ids, mb_labels, mb_mask)
+                vals.append(float(mb_loss.item()))
+                mb_loss.backward(seed)
+            loss_val = mean_loss(vals)
+        return StepResult(loss=loss_val, grads={},
                           events=list(model.tracker.events), timelines={})
 
     def apply_grads(self, model, result: StepResult) -> None:

@@ -1,0 +1,57 @@
+"""Microbatch splitting and loss semantics shared by all backends.
+
+With ``num_microbatches = m > 1`` a step's loss is the *mean of the
+per-microbatch losses* and each microbatch's backward is seeded with
+``1/m``, so parameter gradients equal the gradient of that mean.  Both
+backends (and both pipeline schedules) must route through these helpers:
+the bitwise-equivalence contract extends to microbatched steps, so the
+split points, the seed constant and the reduction order have to be the
+same everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["split_microbatches", "loss_grad_seed", "mean_loss"]
+
+
+def split_microbatches(input_ids, labels, attention_mask, num_microbatches: int):
+    """Split a batch into ``m`` equal microbatches along dim 0.
+
+    Returns a list of ``(input_ids, labels, attention_mask)`` triples.
+    Labels split along dim 0 as well (works for per-example class labels
+    and per-token MLM labels alike).
+    """
+    m = num_microbatches
+    input_ids = np.asarray(input_ids)
+    labels = np.asarray(labels)
+    batch = input_ids.shape[0]
+    if m == 1:
+        return [(input_ids, labels, attention_mask)]
+    if batch % m != 0:
+        raise ValueError(
+            f"batch size {batch} is not divisible by num_microbatches {m}"
+        )
+    chunk = batch // m
+    mask = None if attention_mask is None else np.asarray(attention_mask)
+    out = []
+    for i in range(m):
+        sl = slice(i * chunk, (i + 1) * chunk)
+        out.append((input_ids[sl], labels[sl],
+                    None if mask is None else mask[sl]))
+    return out
+
+
+def loss_grad_seed(num_microbatches: int) -> float:
+    """Backward seed of one microbatch's scalar loss.
+
+    ``d(mean of losses)/d(loss_i) = 1/m``; the cast to the loss dtype
+    happens inside ``Tensor.backward`` identically on every rank.
+    """
+    return 1.0 / num_microbatches
+
+
+def mean_loss(per_microbatch: list[float]) -> float:
+    """The step loss: mean of per-microbatch losses, in listed order."""
+    return sum(per_microbatch) / len(per_microbatch)

@@ -17,8 +17,10 @@ is not reusable after an error.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import re
 import time
+from multiprocessing import connection as mp_connection
 
 import numpy as np
 
@@ -37,7 +39,6 @@ _RANK_SUFFIX = re.compile(r"_rank(\d+)$")
 _LAYER_OWNER = re.compile(r"(?:^|\.)layers\.(\d+)\.")
 _COMP_LAYER = re.compile(r"(?:^|\.)compressor\.layer(\d+)\.")
 _COMP_BOUNDARY = re.compile(r"(?:^|\.)compressor\.boundary(\d+)\.")
-_TP_ENCODER = re.compile(r"(?:^|\.)compressor\.layer\d+\.(?:attn|mlp)\.encoder$")
 _STAGE0_PARAMS = ("token_embedding", "position_embedding", "embed_ln")
 
 
@@ -48,7 +49,8 @@ class MpBackend(ExecutionBackend):
 
     def __init__(self, model, *, capacity_bytes: int = DEFAULT_CAPACITY,
                  timeout: float = DEFAULT_TIMEOUT_S,
-                 collect_timelines: bool = False):
+                 collect_timelines: bool = False,
+                 overlap: bool = True):
         cfg = model.config
         if cfg.model.dropout != 0.0:
             raise BackendError(
@@ -61,6 +63,7 @@ class MpBackend(ExecutionBackend):
         self.world = cfg.tp * cfg.pp
         self.timeout = timeout
         self.collect_timelines = collect_timelines
+        self.overlap = overlap
         self._partition = model.backbone.partition
         self._closed = False
         self._procs: list = []
@@ -88,7 +91,8 @@ class MpBackend(ExecutionBackend):
             for tp_rank in range(self.tp):
                 parent_conn, child_conn = spawn.Pipe()
                 rank_info = {"tp": self.tp, "pp": self.pp,
-                             "tp_rank": tp_rank, "stage": stage}
+                             "tp_rank": tp_rank, "stage": stage,
+                             "overlap": self.overlap}
                 proc = spawn.Process(
                     target=_worker_main,
                     args=(child_conn, self.transport.spec, rank_info,
@@ -104,43 +108,20 @@ class MpBackend(ExecutionBackend):
     def _collect(self, ranks) -> dict[int, tuple]:
         """One message from each rank, or a BackendError naming the culprit.
 
-        Scans *all* pending ranks each pass (rather than draining them in
-        order) so a crashed rank 3 is reported as rank 3 even while rank 0
-        is still legitimately computing.
+        Blocks in :func:`multiprocessing.connection.wait` so a reply (or a
+        worker's death — its pipe end hits EOF) wakes the parent
+        immediately instead of on the next fixed-interval poll; on a
+        single-core host every milliseconds the parent sleeps past a ready
+        reply is added straight to the step's critical path.
         """
         pending = set(ranks)
         results: dict[int, tuple] = {}
         deadline = time.monotonic() + self.timeout
         while pending:
-            progress = False
-            for rank in sorted(pending):
-                conn = self._conns[rank]
-                if not conn.poll(0):
-                    continue
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError):
-                    self.close()
-                    raise BackendError("connection to worker lost", rank=rank)
-                if msg[0] == "error":
-                    tb = msg[2]
-                    self.close()
-                    raise BackendError(f"worker failed:\n{tb}", rank=rank)
-                results[rank] = msg
-                pending.discard(rank)
-                progress = True
-            if not pending or progress:
-                continue
-            for rank in sorted(pending):
-                if not self._procs[rank].is_alive() and not self._conns[rank].poll(0):
-                    exitcode = self._procs[rank].exitcode
-                    self.close()
-                    raise BackendError(
-                        f"worker process died (exit code {exitcode}) "
-                        f"before replying",
-                        rank=rank,
-                    )
-            if time.monotonic() > deadline:
+            # Re-derive the map each pass: pending shrinks as replies land.
+            conn_of = {self._conns[r]: r for r in pending}
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 culprit = sorted(pending)[0]
                 self.close()
                 raise BackendError(
@@ -148,7 +129,24 @@ class MpBackend(ExecutionBackend):
                     f"{self.timeout:.0f}s",
                     rank=culprit,
                 )
-            time.sleep(0.005)
+            ready = mp_connection.wait(list(conn_of), timeout=remaining)
+            for conn in ready:
+                rank = conn_of[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    exitcode = self._procs[rank].exitcode
+                    self.close()
+                    detail = (f" (worker died, exit code {exitcode})"
+                              if exitcode is not None else "")
+                    raise BackendError(f"connection to worker lost{detail}",
+                                       rank=rank)
+                if msg[0] == "error":
+                    tb = msg[2]
+                    self.close()
+                    raise BackendError(f"worker failed:\n{tb}", rank=rank)
+                results[rank] = msg
+                pending.discard(rank)
         return results
 
     def _ensure_open(self) -> None:
@@ -156,9 +154,15 @@ class MpBackend(ExecutionBackend):
             raise BackendError("backend is closed")
 
     def _send_all(self, msg: tuple) -> None:
+        # Pickle once, fan the bytes out: the step broadcast and the
+        # weights sync are the two largest parent→worker messages, and
+        # serializing them per worker put world-1 redundant pickle passes
+        # on the step's critical path.  ``send_bytes`` pairs with the
+        # workers' ordinary ``recv`` (which unpickles the frame).
+        buf = pickle.dumps(msg, protocol=pickle.HIGHEST_PROTOCOL)
         for rank, conn in enumerate(self._conns):
             try:
-                conn.send(msg)
+                conn.send_bytes(buf)
             except (BrokenPipeError, OSError):
                 self.close()
                 raise BackendError("worker pipe is broken (process died?)",
@@ -212,16 +216,14 @@ class MpBackend(ExecutionBackend):
 
     def _merge_grads(self, per_rank: dict[int, dict[str, np.ndarray]]
                      ) -> dict[str, np.ndarray]:
-        """Select/combine worker gradients into the oracle's gradient set.
+        """Select worker gradients into the oracle's gradient set.
 
         - ``*_rank{r}`` shard parameters: exactly one worker (owner stage,
           tp rank r) touched them — take its gradient.
-        - TP-site AE encoders: the oracle encodes *every* rank's partial
-          through the same encoder, accumulating tp gradients; sum the
-          per-rank contributions in rank order (bitwise-commutative at
-          tp<=2).
-        - Everything else is replicated post-reduce compute — take the
-          owner stage's tp rank 0 copy.
+        - Everything else — including learnable codec parameters, whose
+          workers replay the oracle's full encode-sum-decode graph over
+          exchanged partials — is replicated: take the owner stage's tp
+          rank 0 copy.
         """
         merged: dict[str, np.ndarray] = {}
         for name, _ in self.model.named_parameters():
@@ -229,13 +231,6 @@ class MpBackend(ExecutionBackend):
             m = _RANK_SUFFIX.search(name)
             if m:
                 g = per_rank[global_rank(stage, int(m.group(1)), self.tp)].get(name)
-            elif _TP_ENCODER.search(name) and self.tp > 1:
-                g = None
-                for t in range(self.tp):
-                    part = per_rank[global_rank(stage, t, self.tp)].get(name)
-                    if part is None:
-                        continue
-                    g = part if g is None else g + part
             else:
                 g = per_rank[global_rank(stage, 0, self.tp)].get(name)
             if g is not None:

@@ -4,22 +4,36 @@ One :class:`RankTransport` owns a single ``multiprocessing.shared_memory``
 segment laid out as
 
 - a barrier region: ``world`` aligned u32 generation slots, then
-- a full mesh of ``world × world`` single-message channel slots (the
-  diagonal is unused), each ``HEADER_SIZE + capacity`` bytes.
+- a full mesh of ``world × world`` directed ring mailboxes (the diagonal
+  is unused), each a ring of ``slots`` message slots of
+  ``HEADER_SIZE + capacity`` bytes.
 
-Each directed channel is a single-producer/single-consumer mailbox: the
-sender waits for ``status == EMPTY``, writes payload then header, and
-flips ``status`` to ``FULL`` last; the receiver does the reverse.  Because
-every ordered rank pair has its own slot and all ranks execute the same
-collective sequence, the protocol is deadlock-free — and every blocking
-wait carries a deadline so a dead peer surfaces as a typed
-:class:`~repro.parallel.backend.base.BackendError` naming the rank it was
-waiting on, never a hang.
+Each directed mailbox is a single-producer/single-consumer ring: message
+``seq`` (1-based) lives in slot ``(seq - 1) % slots``.  The sender waits
+for its target slot to be ``EMPTY``, writes payload then header, and
+flips the slot's ``status`` to ``FULL`` last; the receiver does the
+reverse.  A sender therefore only blocks once the receiver lags a full
+ring behind — boundary activations and async collective issues complete
+as soon as the payload is staged, which is what lets the schedule overlap
+communication with compute.  Because every ordered rank pair has its own
+ring and all ranks execute the same collective sequence, the protocol is
+deadlock-free — and every blocking wait carries a deadline so a dead peer
+surfaces as a typed :class:`~repro.parallel.backend.base.BackendError`
+naming the peer rank, the mailbox, the slot and the message sequence it
+was stuck on, never a hang.
 
 Arrays cross the wire as raw bytes plus a fixed struct header (magic,
 sequence number, dtype code, shape) — no pickle anywhere on the data
 plane, so a corrupted message fails loudly on the magic/seq check instead
-of deserializing garbage.
+of deserializing garbage.  Payloads are copied exactly once on each side:
+directly from the source array into the shm slot, and from the slot into
+the freshly allocated result array, through numpy views — no intermediate
+``bytes`` staging.
+
+Waits poll with a short spin followed by exponential sleep backoff
+(20 µs → 1 ms).  On an oversubscribed host the backoff matters more than
+the spin: a rank stuck polling at a fixed 20 µs steals the CPU from the
+peer it is waiting on.
 """
 
 from __future__ import annotations
@@ -32,28 +46,41 @@ import numpy as np
 
 from repro.parallel.backend.base import BackendError
 
-__all__ = ["ShmChannel", "ShmBarrier", "RankTransport", "HEADER_SIZE",
-           "DEFAULT_CAPACITY", "DEFAULT_TIMEOUT_S"]
+__all__ = ["ShmChannel", "ShmBarrier", "RankTransport", "ExchangeHandle",
+           "HEADER_SIZE", "DEFAULT_CAPACITY", "DEFAULT_SLOTS",
+           "DEFAULT_TIMEOUT_S"]
 
-#: Per-channel payload capacity (bytes). Activations in the scaled-down
-#: models are tens of KB; 1 MiB leaves generous headroom while keeping a
-#: 4-rank mesh (16 slots) under ~17 MiB of shared memory.
+#: Per-slot payload capacity (bytes). Activations in the scaled-down
+#: models are tens of KB; 1 MiB leaves generous headroom.
 DEFAULT_CAPACITY = 1 << 20
+
+#: Ring depth per directed mailbox. Deep enough that a stage can issue a
+#: few microbatches of boundary sends ahead of the consumer; shm pages
+#: are only materialized when touched, so idle depth costs nothing.
+DEFAULT_SLOTS = 4
 
 #: Default deadline for any single blocking wait.
 DEFAULT_TIMEOUT_S = 60.0
 
-#: Poll interval while waiting on a status flag. Shared-memory flips are
-#: visible immediately; this only bounds busy-wait CPU burn.
-_POLL_S = 20e-6
+#: Brief spin before sleeping: covers the common case where the peer is
+#: mid-flip on another core without burning CPU the peer may need.
+_SPIN = 8
+
+#: Sleep backoff bounds while waiting on a status flag.
+_POLL_MIN_S = 20e-6
+_POLL_MAX_S = 1e-3
 
 _MAGIC = 0x5250_4F43  # "RPOC"
 _EMPTY, _FULL = 0, 1
 
-#: status(u32) seq(u32) magic(u32) dtype(u8) ndim(u8) pad(u16) nbytes(u64)
-#: shape(8 × u64)
+#: Full slot header: status(u32) seq(u32) magic(u32) dtype(u8) ndim(u8)
+#: pad(u16) nbytes(u64) shape(8 × u64)
 _HEADER = struct.Struct("<IIIBBHQ8Q")
 HEADER_SIZE = _HEADER.size
+
+#: Everything after the status word. Packed separately so writing the
+#: header never touches the status flag the receiver is polling.
+_HEADER_BODY = struct.Struct("<IIBBHQ8Q")
 
 _DTYPES: tuple[np.dtype, ...] = tuple(
     np.dtype(d) for d in ("float32", "float16", "float64", "int32", "int64", "uint8", "bool")
@@ -67,42 +94,61 @@ def _now() -> float:
 
 
 class ShmChannel:
-    """One directed single-message channel inside a shared buffer.
+    """One directed single-producer/single-consumer ring mailbox.
 
     ``buf`` is any writable buffer (a shared-memory slice in production, a
-    plain ``bytearray`` in unit tests) of at least ``HEADER_SIZE +
-    capacity`` bytes, pre-zeroed so the slot starts EMPTY.
+    plain ``bytearray`` in unit tests) of at least ``slots × (HEADER_SIZE
+    + capacity)`` bytes, pre-zeroed so every slot starts EMPTY.
     """
 
-    def __init__(self, buf, capacity: int, *, src: int, dst: int):
-        if len(buf) < HEADER_SIZE + capacity:
+    def __init__(self, buf, capacity: int, *, src: int, dst: int,
+                 slots: int = DEFAULT_SLOTS):
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        slot_bytes = HEADER_SIZE + capacity
+        if len(buf) < slots * slot_bytes:
             raise ValueError(
-                f"channel buffer too small: {len(buf)} < {HEADER_SIZE + capacity}"
+                f"channel buffer too small: {len(buf)} < {slots * slot_bytes}"
             )
         self._buf = buf
         self.capacity = capacity
+        self.slots = slots
+        self.slot_bytes = slot_bytes
         self.src = src
         self.dst = dst
         self._send_seq = 0
         self._recv_seq = 0
+        # Persistent zero-copy views: one u32 status word and one u8
+        # payload window per slot.
+        self._status = [
+            np.frombuffer(buf, dtype=np.uint32, count=1, offset=i * slot_bytes)
+            for i in range(slots)
+        ]
+        self._payload = [
+            np.frombuffer(buf, dtype=np.uint8, count=capacity,
+                          offset=i * slot_bytes + HEADER_SIZE)
+            for i in range(slots)
+        ]
 
     # -- low-level flag helpers -----------------------------------------
-    def _status(self) -> int:
-        return struct.unpack_from("<I", self._buf, 0)[0]
-
-    def _set_status(self, value: int) -> None:
-        struct.pack_into("<I", self._buf, 0, value)
-
-    def _wait_status(self, want: int, deadline: float, waiting_on: int) -> None:
-        while self._status() != want:
+    def _wait_status(self, slot: int, want: int, deadline: float,
+                     waiting_on: int, seq: int) -> None:
+        status = self._status[slot]
+        for _ in range(_SPIN):
+            if status[0] == want:
+                return
+        delay = _POLL_MIN_S
+        while status[0] != want:
             if _now() > deadline:
-                verb = "drain" if want == _EMPTY else "send"
+                verb = "drain" if want == _EMPTY else "fill"
                 raise BackendError(
                     f"timed out waiting for rank {waiting_on} to {verb} "
-                    f"(channel {self.src}->{self.dst})",
+                    f"mailbox {self.src}->{self.dst} slot {slot} "
+                    f"(message seq {seq})",
                     rank=waiting_on,
                 )
-            time.sleep(_POLL_S)
+            time.sleep(delay)
+            delay = min(delay * 2, _POLL_MAX_S)
 
     # -- public API ------------------------------------------------------
     def send(self, arr: np.ndarray, timeout: float = DEFAULT_TIMEOUT_S) -> None:
@@ -114,7 +160,7 @@ class ShmChannel:
         code = _DTYPE_CODE.get(arr.dtype)
         if code is None:
             raise BackendError(
-                f"unsupported wire dtype {arr.dtype} (channel {self.src}->{self.dst})",
+                f"unsupported wire dtype {arr.dtype} (mailbox {self.src}->{self.dst})",
                 rank=self.src,
             )
         if arr.ndim > _MAX_NDIM:
@@ -126,38 +172,46 @@ class ShmChannel:
                 f"{self.capacity}; raise capacity_bytes",
                 rank=self.src,
             )
-        self._wait_status(_EMPTY, _now() + timeout, waiting_on=self.dst)
+        seq = self._send_seq + 1
+        slot = (seq - 1) % self.slots
+        self._wait_status(slot, _EMPTY, _now() + timeout,
+                          waiting_on=self.dst, seq=seq)
         if arr.nbytes:
-            self._buf[HEADER_SIZE : HEADER_SIZE + arr.nbytes] = arr.tobytes()
+            self._payload[slot][: arr.nbytes] = arr.reshape(-1).view(np.uint8)
         shape = tuple(arr.shape) + (0,) * (_MAX_NDIM - arr.ndim)
-        self._send_seq += 1
-        _HEADER.pack_into(
-            self._buf, 0, _EMPTY, self._send_seq, _MAGIC, code, arr.ndim, 0,
-            arr.nbytes, *shape,
+        _HEADER_BODY.pack_into(
+            self._buf, slot * self.slot_bytes + 4, seq, _MAGIC, code,
+            arr.ndim, 0, arr.nbytes, *shape,
         )
+        self._send_seq = seq
         # Status flips to FULL only after payload and header are in place.
-        self._set_status(_FULL)
+        self._status[slot][0] = _FULL
 
     def recv(self, timeout: float = DEFAULT_TIMEOUT_S) -> np.ndarray:
-        self._wait_status(_FULL, _now() + timeout, waiting_on=self.src)
-        (_, seq, magic, code, ndim, _, nbytes, *shape) = _HEADER.unpack_from(self._buf, 0)
+        seq = self._recv_seq + 1
+        slot = (seq - 1) % self.slots
+        self._wait_status(slot, _FULL, _now() + timeout,
+                          waiting_on=self.src, seq=seq)
+        (got_seq, magic, code, ndim, _, nbytes, *shape) = _HEADER_BODY.unpack_from(
+            self._buf, slot * self.slot_bytes + 4)
         if magic != _MAGIC:
             raise BackendError(
-                f"bad magic 0x{magic:08x} on channel {self.src}->{self.dst}",
+                f"bad magic 0x{magic:08x} on mailbox {self.src}->{self.dst} "
+                f"slot {slot}",
                 rank=self.src,
             )
-        self._recv_seq += 1
-        if seq != self._recv_seq:
+        if got_seq != seq:
             raise BackendError(
-                f"out-of-order message on channel {self.src}->{self.dst}: "
-                f"seq {seq}, expected {self._recv_seq}",
+                f"out-of-order message on channel {self.src}->{self.dst} "
+                f"slot {slot}: seq {got_seq}, expected {seq}",
                 rank=self.src,
             )
-        dtype = _DTYPES[code]
-        payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + nbytes])
-        arr = np.frombuffer(payload, dtype=dtype).reshape(shape[:ndim]).copy()
-        self._set_status(_EMPTY)
-        return arr
+        out = np.empty(shape[:ndim], dtype=_DTYPES[code])
+        if nbytes:
+            out.reshape(-1).view(np.uint8)[:] = self._payload[slot][:nbytes]
+        self._recv_seq = seq
+        self._status[slot][0] = _EMPTY
+        return out
 
 
 class ShmBarrier:
@@ -181,6 +235,7 @@ class ShmBarrier:
         struct.pack_into("<I", self._buf, 4 * self.rank, self._generation)
         deadline = _now() + timeout
         for peer in range(self.world):
+            delay = _POLL_MIN_S
             while struct.unpack_from("<I", self._buf, 4 * peer)[0] < self._generation:
                 if _now() > deadline:
                     raise BackendError(
@@ -188,22 +243,61 @@ class ShmBarrier:
                         f"for rank {peer}",
                         rank=peer,
                     )
-                time.sleep(_POLL_S)
+                time.sleep(delay)
+                delay = min(delay * 2, _POLL_MAX_S)
         return self._generation
 
 
-class RankTransport:
-    """All channels and the barrier for one rank, over one shm segment.
+class ExchangeHandle:
+    """In-flight all-gather: sends are staged, receives happen on wait.
 
-    The parent calls :meth:`create` once (allocating and zeroing the
-    segment) and passes ``spec`` to each worker, which attaches with
-    :meth:`RankTransport(spec, rank=...)``.  Only the creator may
+    Returned by :meth:`RankTransport.exchange_issue`.  Between issue and
+    :meth:`wait` the caller is free to run independent compute; the
+    in-flight window is recorded on the transport timeline as an async
+    span (``mp.async``) so it shows up as a ``b``/``e`` pair in the
+    Chrome trace.
+    """
+
+    def __init__(self, transport: "RankTransport", peers: list[int],
+                 arr: np.ndarray, label: str, issued_at: float):
+        self._transport = transport
+        self._peers = peers
+        self._arr = arr
+        self._label = label
+        self._issued_at = issued_at
+        self._result: dict[int, np.ndarray] | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    def wait(self, timeout: float = DEFAULT_TIMEOUT_S) -> dict[int, np.ndarray]:
+        if self._result is None:
+            t = self._transport
+            start = _now()
+            out = {t.rank: self._arr}
+            for peer in self._peers:
+                if peer != t.rank:
+                    out[peer] = t._channels[(peer, t.rank)].recv(timeout)
+            self._result = out
+            t._record_wait(f"{self._label} wait", start)
+            t._record_wait(self._label, self._issued_at, cat="mp.async")
+        return self._result
+
+
+class RankTransport:
+    """All mailboxes and the barrier for one rank, over one shm segment.
+
+    The parent calls :meth:`create` once (allocating the segment) and
+    passes ``spec`` to each worker, which attaches with
+    :meth:`RankTransport(spec, rank=...)`.  Only the creator may
     :meth:`unlink`; everyone must :meth:`close`.
     """
 
     def __init__(self, spec: dict, rank: int, *, _created: bool = False):
         self.world = int(spec["world"])
         self.capacity = int(spec["capacity"])
+        self.slots = int(spec.get("slots", DEFAULT_SLOTS))
         self.rank = rank
         self.spec = dict(spec)
         self._created = _created
@@ -215,12 +309,13 @@ class RankTransport:
                 f"shared-memory segment {spec['name']!r} is gone (creator closed?)",
                 rank=rank,
             ) from None
+        # A freshly created POSIX shm segment is zero-filled by the OS, so
+        # every slot already reads EMPTY — no explicit memset (which would
+        # fault in every page of a mostly idle mesh).
         buf = self._shm.buf
-        if _created:
-            buf[: self._segment_size()] = b"\x00" * self._segment_size()
         self.barrier = ShmBarrier(buf[: 4 * self.world], self.world, rank)
         self._channels: dict[tuple[int, int], ShmChannel] = {}
-        slot = HEADER_SIZE + self.capacity
+        ring = self.slots * (HEADER_SIZE + self.capacity)
         base = self._barrier_bytes()
         for src in range(self.world):
             for dst in range(self.world):
@@ -228,12 +323,15 @@ class RankTransport:
                     continue
                 if rank not in (src, dst):
                     continue
-                off = base + (src * self.world + dst) * slot
+                off = base + (src * self.world + dst) * ring
                 self._channels[(src, dst)] = ShmChannel(
-                    buf[off : off + slot], self.capacity, src=src, dst=dst
+                    buf[off : off + ring], self.capacity, src=src, dst=dst,
+                    slots=self.slots,
                 )
         #: Optional per-step span sink: when a list, blocking waits append
-        #: ``{"name", "cat", "ts_ms", "dur_ms"}`` dicts (worker-local clock).
+        #: ``{"name", "cat", "ts_ms", "dur_ms"}`` dicts (worker-local
+        #: clock).  ``cat`` is ``mp.wait`` for blocking waits and
+        #: ``mp.async`` for issue→wait in-flight windows.
         self.timeline: list[dict] | None = None
         self.timeline_origin = 0.0
 
@@ -244,17 +342,17 @@ class RankTransport:
         return (4 * self.world + 63) // 64 * 64
 
     def _segment_size(self) -> int:
-        slot = HEADER_SIZE + self.capacity
-        return self._barrier_bytes() + self.world * self.world * slot
+        ring = self.slots * (HEADER_SIZE + self.capacity)
+        return self._barrier_bytes() + self.world * self.world * ring
 
     @classmethod
     def create(cls, world: int, capacity: int = DEFAULT_CAPACITY,
-               rank: int = -1) -> "RankTransport":
+               rank: int = -1, slots: int = DEFAULT_SLOTS) -> "RankTransport":
         """Allocate the segment (parent side). ``rank=-1``: observer only."""
         import secrets
 
         spec = {"name": f"repro-rt-{secrets.token_hex(6)}", "world": world,
-                "capacity": capacity}
+                "capacity": capacity, "slots": slots}
         return cls(spec, rank, _created=True)
 
     # ------------------------------------------------------------------
@@ -267,6 +365,10 @@ class RankTransport:
                 "dur_ms": dur * 1e3,
             })
 
+    def record_span(self, name: str, start: float, cat: str = "mp.wait") -> None:
+        """Public timeline hook for layers above the transport."""
+        self._record_wait(name, start, cat)
+
     def send(self, dst: int, arr: np.ndarray, timeout: float = DEFAULT_TIMEOUT_S) -> None:
         start = _now()
         self._channels[(self.rank, dst)].send(arr, timeout)
@@ -278,23 +380,31 @@ class RankTransport:
         self._record_wait(f"recv<-r{src}", start)
         return out
 
+    def exchange_issue(self, peers: list[int], arr: np.ndarray,
+                       timeout: float = DEFAULT_TIMEOUT_S,
+                       label: str | None = None) -> ExchangeHandle:
+        """Stage the sends of an all-gather and return an in-flight handle.
+
+        The sends complete as soon as the payload lands in each peer's
+        ring (they only block when a ring is full), so the caller can run
+        independent compute before :meth:`ExchangeHandle.wait` collects
+        the peers' contributions.
+        """
+        issued_at = _now()
+        for peer in peers:
+            if peer != self.rank:
+                self._channels[(self.rank, peer)].send(arr, timeout)
+        return ExchangeHandle(self, list(peers), arr,
+                              label or f"exchange x{len(peers)}", issued_at)
+
     def exchange(self, peers: list[int], arr: np.ndarray,
                  timeout: float = DEFAULT_TIMEOUT_S) -> dict[int, np.ndarray]:
-        """All-gather ``arr`` with ``peers`` (own rank excluded from sends).
+        """Blocking all-gather ``arr`` with ``peers`` (issue + wait).
 
         Returns ``{rank: array}`` including our own contribution — the
         caller reduces in deterministic rank order.
         """
-        start = _now()
-        for peer in peers:
-            if peer != self.rank:
-                self._channels[(self.rank, peer)].send(arr, timeout)
-        out = {self.rank: arr}
-        for peer in peers:
-            if peer != self.rank:
-                out[peer] = self._channels[(peer, self.rank)].recv(timeout)
-        self._record_wait(f"exchange x{len(peers)}", start)
-        return out
+        return self.exchange_issue(peers, arr, timeout).wait(timeout)
 
     def barrier_wait(self, timeout: float = DEFAULT_TIMEOUT_S) -> int:
         start = _now()

@@ -25,9 +25,21 @@ import traceback
 
 import numpy as np
 
+import re
+
 from repro.parallel.backend.context import RankContext, set_rank_context
 from repro.parallel.backend.transport import RankTransport
 from repro.tensor import Tensor
+
+_RANK_SUFFIX = re.compile(r"_rank(\d+)$")
+
+
+def _parent_reads(name: str, tp_rank: int) -> bool:
+    """Whether the parent's gradient merge reads ``name`` from this rank."""
+    m = _RANK_SUFFIX.search(name)
+    if m is not None:
+        return int(m.group(1)) == tp_rank
+    return tp_rank == 0
 
 
 def _disable_shm_tracking() -> None:
@@ -64,12 +76,33 @@ def _span(timeline: list[dict] | None, origin: float, name: str,
 def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
                collect_timeline: bool):
     """One training step of this rank's slice; returns (loss, grads, events,
-    timeline)."""
+    timeline).
+
+    The step executes the pipeline schedule's op list verbatim
+    (:func:`repro.parallel.pipeline.schedule_ops`): each ``F`` op carries
+    one microbatch from boundary to boundary, each ``B`` op runs its
+    backward and relays the input-leaf gradient upstream.  Under 1F1B the
+    interleaving lets a stage's backward compute overlap the in-flight
+    boundary sends of neighbouring microbatches; gradient accumulation
+    stays in ascending microbatch order under both schedules, keeping the
+    result bitwise-identical to the serial oracle.
+    """
+    from repro.parallel.backend.microbatch import (
+        loss_grad_seed,
+        mean_loss,
+        split_microbatches,
+    )
+    from repro.parallel.collectives import pipeline_transfer
+    from repro.parallel.pipeline import schedule_ops
+
     transport = ctx.transport
     backbone = model.backbone
     partition = backbone.partition
     pp = ctx.pp
     stage = ctx.stage
+    cfg = model.config
+    m = getattr(cfg, "num_microbatches", 1)
+    schedule = getattr(cfg, "pipeline_schedule", "gpipe")
 
     timeline: list[dict] | None = [] if collect_timeline else None
     origin = time.monotonic()
@@ -80,54 +113,75 @@ def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
     model.tracker.reset()
     transport.barrier_wait(ctx.timeout)
 
-    # ---- forward ------------------------------------------------------
-    t0 = time.monotonic()
-    if stage == 0:
-        x, mask4d = backbone.embed(input_ids, attention_mask)
-        x_in = None
-    else:
-        x_data = transport.recv(ctx.peer(stage - 1), ctx.timeout)
-        x_in = Tensor(x_data, requires_grad=True)
-        x = x_in
-        mask4d = backbone.attention_bias(attention_mask)
-    x = backbone.stage_forward(x, stage, mask4d)
+    microbatches = split_microbatches(input_ids, labels, attention_mask, m)
+    seed = None if m == 1 else loss_grad_seed(m)
 
-    loss = None
-    if stage < pp - 1:
-        from repro.parallel.collectives import pipeline_transfer
+    x_in: dict[int, Tensor] = {}  # stages > 0: per-microbatch input leaves
+    outs: dict[int, Tensor] = {}  # stages < pp-1: per-microbatch boundary outs
+    losses: dict[int, Tensor] = {}  # last stage: per-microbatch losses
+    loss_vals: list[float] = []
 
-        comp = backbone.site_compressor(f"boundary{stage}")
-        out = pipeline_transfer(
-            x, comp, model.tracker, boundary=stage,
-            layer=partition.boundaries()[stage],
-        )
-    else:
-        loss = model.loss_from_hidden(x, labels)
-    _span(timeline, origin, "forward", t0)
+    for op in schedule_ops(schedule, pp, stage, m):
+        i = op.microbatch
+        mb_ids, mb_labels, mb_mask = microbatches[i]
+        t0 = time.monotonic()
+        if op.kind == "F":
+            if stage == 0:
+                x, mask4d = backbone.embed(mb_ids, mb_mask)
+            else:
+                x_data = transport.recv(ctx.peer(stage - 1), ctx.timeout)
+                leaf = Tensor(x_data, requires_grad=True)
+                x_in[i] = leaf
+                x = leaf
+                mask4d = backbone.attention_bias(mb_mask)
+            h = backbone.stage_forward(x, stage, mask4d)
+            if stage < pp - 1:
+                comp = backbone.site_compressor(f"boundary{stage}")
+                outs[i] = pipeline_transfer(
+                    h, comp, model.tracker, boundary=stage,
+                    layer=partition.boundaries()[stage],
+                )
+            else:
+                losses[i] = model.loss_from_hidden(h, mb_labels)
+            _span(timeline, origin, "forward" if m == 1 else f"F{i}", t0)
+        else:
+            if stage < pp - 1:
+                g = transport.recv(ctx.peer(stage + 1), ctx.timeout)
+                outs.pop(i).backward(g)
+            else:
+                loss_t = losses.pop(i)
+                loss_vals.append(float(loss_t.item()))
+                if seed is None:
+                    loss_t.backward()
+                else:
+                    loss_t.backward(seed)
+            if stage > 0:
+                leaf = x_in.pop(i)
+                if leaf.grad is None:
+                    raise RuntimeError(
+                        f"stage {stage} produced no input gradient to relay "
+                        f"(microbatch {i})"
+                    )
+                # The relay is staged in the upstream ring and stays in
+                # flight while this stage continues with its next op.
+                t_send = time.monotonic()
+                transport.send(ctx.peer(stage - 1),
+                               np.ascontiguousarray(leaf.grad), ctx.timeout)
+                transport.record_span(f"pp grad send mb{i}", t_send,
+                                      cat="mp.async")
+            _span(timeline, origin, "backward" if m == 1 else f"B{i}", t0)
 
-    # ---- backward -----------------------------------------------------
-    t0 = time.monotonic()
-    if stage < pp - 1:
-        g = transport.recv(ctx.peer(stage + 1), ctx.timeout)
-        out.backward(g)
-    else:
-        loss.backward()
-    if stage > 0:
-        if x_in.grad is None:
-            raise RuntimeError(
-                f"stage {stage} produced no input gradient to relay"
-            )
-        transport.send(ctx.peer(stage - 1), np.ascontiguousarray(x_in.grad),
-                       ctx.timeout)
-    _span(timeline, origin, "backward", t0)
-
+    # Reply with exactly the gradients the parent's merge will read: tp
+    # rank 0 owns every replicated parameter's copy (plus its own shards);
+    # a tp rank > 0 worker is only consulted for its ``_rank{r}`` shards.
+    # Everything else would be pickled, shipped and dropped.
     grads = {
         name: p.grad for name, p in model.named_parameters()
-        if p.grad is not None
+        if p.grad is not None and _parent_reads(name, ctx.tp_rank)
     }
     events = list(model.tracker.events)
     transport.timeline = None
-    loss_val = float(loss.item()) if loss is not None else None
+    loss_val = mean_loss(loss_vals) if loss_vals else None
     return loss_val, grads, events, timeline or []
 
 
@@ -152,6 +206,7 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
             transport=transport,
             rng=np.random.default_rng((model_spec["config"].seed, rank)),
             timeout=timeout,
+            overlap=rank_info.get("overlap", True),
         )
         set_rank_context(ctx)
         conn.send(("ready", rank))

@@ -19,6 +19,7 @@ equivalents) to produce the paper's timing tables.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,11 +31,14 @@ from repro.tensor import Tensor
 
 __all__ = [
     "CommEvent",
+    "CommHandle",
     "CommTracker",
     "dense_bytes",
     "tp_all_reduce",
+    "tp_all_reduce_issue",
     "tp_broadcast",
     "pipeline_transfer",
+    "pipeline_transfer_issue",
 ]
 
 _VALID_OPS = frozenset({"all_reduce", "all_gather", "send"})
@@ -150,6 +154,42 @@ def dense_bytes(shape: tuple[int, ...]) -> int:
     return int(np.prod(shape)) * BYTES_FP16
 
 
+class CommHandle:
+    """An issued collective; :meth:`wait` completes it and returns a Tensor.
+
+    The issue/wait split is what lets a rank overlap an in-flight transfer
+    with compute that does not depend on the result.  In-process (oracle)
+    handles complete eagerly — there is no wire, so ``issue`` computes the
+    result and ``wait`` just hands it back.  SPMD handles hold an
+    in-flight shm exchange: the sends were staged at issue time, peer
+    contributions are collected (and the site's :class:`CommEvent`
+    recorded) at wait time.  ``wait`` is idempotent.
+    """
+
+    __slots__ = ("_finish", "_result")
+
+    def __init__(self, finish):
+        self._finish = finish
+        self._result: Tensor | None = None
+
+    @classmethod
+    def ready(cls, value: Tensor) -> "CommHandle":
+        """A handle that is already complete (oracle / blocking paths)."""
+        handle = cls(None)
+        handle._result = value
+        return handle
+
+    @property
+    def done(self) -> bool:
+        return self._finish is None
+
+    def wait(self) -> Tensor:
+        if self._finish is not None:
+            finish, self._finish = self._finish, None
+            self._result = finish()
+        return self._result
+
+
 
 
 def tp_broadcast(x: Tensor, world: int, tracker: CommTracker, *, layer: int | None = None,
@@ -173,9 +213,11 @@ def tp_broadcast(x: Tensor, world: int, tracker: CommTracker, *, layer: int | No
         # summation runs in rank order so the 2-term float sums match the
         # oracle's autograd accumulation bitwise.
         def backward(g):
-            gathered = ctx.transport.exchange(
-                ctx.tp_peers(), np.ascontiguousarray(g), ctx.timeout
+            wire = ctx.transport.exchange_issue(
+                ctx.tp_peers(), np.ascontiguousarray(g), ctx.timeout,
+                label=_async_label("bwd allreduce", site, layer),
             )
+            gathered = wire.wait(ctx.timeout)
             g_sum = _sum_rank_order(gathered, ctx.tp_peers())
             if ctx.records:
                 tracker.record(
@@ -215,6 +257,9 @@ def tp_all_reduce(
 ) -> Tensor:
     """Megatron's ``g`` op with optional compression: sum per-rank partials.
 
+    Blocking form of :func:`tp_all_reduce_issue` — issue immediately
+    followed by wait.
+
     - No compression → plain all-reduce of the dense fp16 activation.
     - AE → each rank encodes its partial, the all-reduce runs over the
       (much smaller) code, one decode after. Linearity makes this exactly
@@ -226,6 +271,27 @@ def tp_all_reduce(
 
     Backward traffic is logged per scheme via ``Compressor.backward_bytes``.
     """
+    return tp_all_reduce_issue(partials, compressor, tracker,
+                               layer=layer, site=site).wait()
+
+
+def tp_all_reduce_issue(
+    partials: list[Tensor],
+    compressor: Compressor,
+    tracker: CommTracker,
+    *,
+    layer: int | None = None,
+    site: str = "",
+) -> CommHandle:
+    """Issue the ``g`` all-reduce and return a :class:`CommHandle`.
+
+    Under SPMD the local contribution is staged on the wire before this
+    returns; rank-local codec work that does not need peer data (the AE
+    encode of the own partial) also runs at issue time, overlapping the
+    in-flight exchange.  Everything that consumes peer data — and the
+    site's event recording — happens inside :meth:`CommHandle.wait`.
+    In-process the handle is returned already complete.
+    """
     if not partials:
         raise ValueError("tp_all_reduce needs at least one partial")
     ctx = rank_context()
@@ -235,8 +301,8 @@ def tp_all_reduce(
                 f"SPMD tp_all_reduce expects exactly the local partial, "
                 f"got {len(partials)}"
             )
-        return _tp_all_reduce_spmd(partials[0], compressor, tracker, ctx,
-                                   layer=layer, site=site)
+        return _tp_all_reduce_spmd_issue(partials[0], compressor, tracker, ctx,
+                                         layer=layer, site=site)
     world = len(partials)
     shape = tuple(partials[0].shape)
     for p in partials[1:]:
@@ -246,7 +312,7 @@ def tp_all_reduce(
     if world == 1:
         # No TP communication exists, so there is nothing to compress
         # (matches the paper's TP=1 rows, where only PP traffic is compressed).
-        return partials[0]
+        return CommHandle.ready(partials[0])
 
     if _is_identity(compressor):
         out = _sum_tensors(partials)
@@ -254,11 +320,11 @@ def tp_all_reduce(
             CommEvent("all_reduce", "tp", "forward", "none", dense_bytes(shape),
                       world, shape, layer, site)
         )
-        return _with_backward_event(
+        return CommHandle.ready(_with_backward_event(
             out, tracker,
             CommEvent("all_reduce", "tp", "backward", "none", dense_bytes(shape),
                       world, shape, layer, site),
-        )
+        ))
 
     if isinstance(compressor, AutoencoderCompressor) or (
         compressor.allreduce_compatible and compressor.learnable
@@ -283,11 +349,11 @@ def tp_all_reduce(
                 original=dense, reconstructed=out.data,
                 wire_bytes=code_bytes, dense_bytes=dense_bytes(shape),
             )
-        return _with_backward_event(
+        return CommHandle.ready(_with_backward_event(
             out, tracker,
             CommEvent("all_reduce", "tp", "backward", compressor.name,
                       compressor.backward_bytes(shape), world, shape, layer, site),
-        )
+        ))
 
     # All-gather path: each rank broadcasts its compressed message; every
     # rank reconstructs and sums locally.  Each rank's partial is its own
@@ -312,14 +378,14 @@ def tp_all_reduce(
         CommEvent("all_gather", "tp", "forward", compressor.name, msg_bytes,
                   world, shape, layer, site)
     )
-    return _with_backward_event(
+    return CommHandle.ready(_with_backward_event(
         out, tracker,
         CommEvent("all_gather", "tp", "backward", compressor.name,
                   compressor.backward_bytes(shape), world, shape, layer, site),
-    )
+    ))
 
 
-def _tp_all_reduce_spmd(
+def _tp_all_reduce_spmd_issue(
     own: Tensor,
     compressor: Compressor,
     tracker: CommTracker,
@@ -327,91 +393,145 @@ def _tp_all_reduce_spmd(
     *,
     layer: int | None = None,
     site: str = "",
-) -> Tensor:
+) -> CommHandle:
     """The ``g`` op inside one mp worker: a real exchange over shm.
 
     Semantics mirror the three in-process paths exactly; only the *where*
-    changes.  Codecs run rank-local before anything hits the wire, peer
-    contributions are summed in rank order 0..tp-1 (bitwise-commutative at
-    tp<=2), and only the stage's designated recorder (tp rank 0) logs
-    events so the merged multiset matches the oracle event-for-event.
-    Fidelity probes are an in-process observability feature and are not
-    consulted here.
+    changes.  Stateless codecs run rank-local before anything hits the
+    wire; learnable codecs replay the oracle's full graph over exchanged
+    raw partials (see inline comment).  Peer contributions are summed in
+    rank order 0..tp-1 (bitwise-commutative at tp<=2), and only the
+    stage's designated recorder (tp rank 0) logs events so the merged
+    multiset matches the oracle event-for-event.
+
+    The local contribution is staged on the wire at issue time
+    (:meth:`RankTransport.exchange_issue`); peer data is consumed — and
+    the events recorded — inside the returned handle's ``wait``.  With
+    ``ctx.overlap`` off the handle completes before this returns, giving
+    a strictly blocking reference path; the numbers are bitwise-identical
+    either way because the codec work moved across the split is
+    deterministic and rank-local.
     """
     world = ctx.tp
     shape = tuple(own.shape)
     peers = ctx.tp_peers()
 
     if _is_identity(compressor):
-        gathered = ctx.transport.exchange(peers, own.data, ctx.timeout)
-        out_data = _sum_rank_order(gathered, peers)
+        wire = ctx.transport.exchange_issue(
+            peers, own.data, ctx.timeout,
+            label=_async_label("allreduce", site, layer))
 
-        def passthrough(g):
-            return (g,)
+        def finish() -> Tensor:
+            gathered = wire.wait(ctx.timeout)
+            out_data = _sum_rank_order(gathered, peers)
 
-        out = Tensor._make(out_data, (own,), passthrough)
-        if ctx.records:
-            tracker.record(
-                CommEvent("all_reduce", "tp", "forward", "none", dense_bytes(shape),
-                          world, shape, layer, site)
+            def passthrough(g):
+                return (g,)
+
+            out = Tensor._make(out_data, (own,), passthrough)
+            if ctx.records:
+                tracker.record(
+                    CommEvent("all_reduce", "tp", "forward", "none",
+                              dense_bytes(shape), world, shape, layer, site)
+                )
+            return _with_backward_event(
+                out, tracker,
+                CommEvent("all_reduce", "tp", "backward", "none",
+                          dense_bytes(shape), world, shape, layer, site),
+                enabled=ctx.records,
             )
-        return _with_backward_event(
-            out, tracker,
-            CommEvent("all_reduce", "tp", "backward", "none", dense_bytes(shape),
-                      world, shape, layer, site),
-            enabled=ctx.records,
-        )
+
+        return _spmd_handle(ctx, finish)
 
     if isinstance(compressor, AutoencoderCompressor) or (
         compressor.allreduce_compatible and compressor.learnable
     ):
-        code = compressor.encode(own)
-        gathered = ctx.transport.exchange(peers, code.data, ctx.timeout)
-        code_sum_data = _sum_rank_order(gathered, peers)
+        # Learnable codec: every rank replays the oracle's *whole*
+        # encode-sum-decode graph over the exchanged raw partials (peer
+        # partials enter as constants).  Exchanging codes instead would
+        # leave each worker with only its own encoder-gradient
+        # contribution, and summing those per-rank *step totals* post hoc
+        # reorders the float additions the moment gradients accumulate
+        # over microbatches (the oracle interleaves rank contributions per
+        # microbatch).  Replaying the full graph keeps codec gradients
+        # replicated and bitwise-identical to the oracle for any m; the
+        # logged wire bytes are still the code size — what a real fused
+        # encode/all-reduce/decode would move.
+        wire = ctx.transport.exchange_issue(
+            peers, own.data, ctx.timeout,
+            label=_async_label("allreduce", site, layer))
+        # The own-partial encode needs no peer data: run it at issue time,
+        # overlapping the in-flight exchange.  encode() is deterministic
+        # and stateless, so hoisting it across the wait cannot change bits.
+        own_code = compressor.encode(own)
+        me = ctx.rank
 
-        def passthrough(g):
-            # d(sum of codes)/d(own code) = I; the downstream gradient is
-            # already replicated across tp peers, so no exchange is needed.
-            return (g,)
-
-        code_sum = Tensor._make(code_sum_data, (code,), passthrough)
-        code_bytes = int(np.prod(code_sum.shape)) * BYTES_FP16
-        if ctx.records:
-            tracker.record(
-                CommEvent("all_reduce", "tp", "forward", compressor.name, code_bytes,
-                          world, shape, layer, site)
+        def finish() -> Tensor:
+            gathered = wire.wait(ctx.timeout)
+            codes = [
+                own_code if r == me else compressor.encode(Tensor(gathered[r]))
+                for r in peers
+            ]
+            code_sum = _sum_tensors(codes)
+            code_bytes = int(np.prod(code_sum.shape)) * BYTES_FP16
+            if ctx.records:
+                tracker.record(
+                    CommEvent("all_reduce", "tp", "forward", compressor.name,
+                              code_bytes, world, shape, layer, site)
+                )
+            out = compressor.decode(code_sum)
+            return _with_backward_event(
+                out, tracker,
+                CommEvent("all_reduce", "tp", "backward", compressor.name,
+                          compressor.backward_bytes(shape), world, shape,
+                          layer, site),
+                enabled=ctx.records,
             )
-        out = compressor.decode(code_sum)
-        return _with_backward_event(
-            out, tracker,
-            CommEvent("all_reduce", "tp", "backward", compressor.name,
-                      compressor.backward_bytes(shape), world, shape, layer, site),
-            enabled=ctx.records,
-        )
+
+        return _spmd_handle(ctx, finish)
 
     # All-gather path: compress/reconstruct our own partial with the same
     # per-rank site key the oracle uses, then exchange reconstructions.
     rank_site = _rank_site(site, layer, ctx.tp_rank)
     rec = compressor.apply(own, site=rank_site)
-    gathered = ctx.transport.exchange(peers, rec.data, ctx.timeout)
-    out_data = _sum_rank_order(gathered, peers)
+    wire = ctx.transport.exchange_issue(
+        peers, rec.data, ctx.timeout,
+        label=_async_label("allgather", site, layer))
 
-    def passthrough(g):
-        return (g,)
+    def finish() -> Tensor:
+        gathered = wire.wait(ctx.timeout)
+        out_data = _sum_rank_order(gathered, peers)
 
-    out = Tensor._make(out_data, (rec,), passthrough)
-    msg_bytes = compressor.compressed_bytes(shape)
-    if ctx.records:
-        tracker.record(
-            CommEvent("all_gather", "tp", "forward", compressor.name, msg_bytes,
-                      world, shape, layer, site)
+        def passthrough(g):
+            return (g,)
+
+        out = Tensor._make(out_data, (rec,), passthrough)
+        msg_bytes = compressor.compressed_bytes(shape)
+        if ctx.records:
+            tracker.record(
+                CommEvent("all_gather", "tp", "forward", compressor.name,
+                          msg_bytes, world, shape, layer, site)
+            )
+        return _with_backward_event(
+            out, tracker,
+            CommEvent("all_gather", "tp", "backward", compressor.name,
+                      compressor.backward_bytes(shape), world, shape, layer, site),
+            enabled=ctx.records,
         )
-    return _with_backward_event(
-        out, tracker,
-        CommEvent("all_gather", "tp", "backward", compressor.name,
-                  compressor.backward_bytes(shape), world, shape, layer, site),
-        enabled=ctx.records,
-    )
+
+    return _spmd_handle(ctx, finish)
+
+
+def _spmd_handle(ctx, finish) -> CommHandle:
+    """Wrap ``finish`` honoring the context's overlap knob.
+
+    ``ctx.overlap`` off forces completion at issue time — the blocking
+    reference path the overlap stress test compares against.
+    """
+    handle = CommHandle(finish)
+    if not getattr(ctx, "overlap", True):
+        handle.wait()
+    return handle
 
 
 def pipeline_transfer(
@@ -426,7 +546,28 @@ def pipeline_transfer(
 
     Applies the compressor's differentiable round-trip (the receiving stage
     sees the reconstruction) and logs the forward send plus the backward
-    gradient message.
+    gradient message.  Blocking form of :func:`pipeline_transfer_issue`.
+    """
+    return pipeline_transfer_issue(x, compressor, tracker, boundary=boundary,
+                                   layer=layer).wait()
+
+
+def pipeline_transfer_issue(
+    x: Tensor,
+    compressor: Compressor,
+    tracker: CommTracker,
+    *,
+    boundary: int,
+    layer: int | None = None,
+) -> CommHandle:
+    """Issue a boundary send and return a :class:`CommHandle`.
+
+    A pipeline send has no receive half on the sender, so the handle is
+    always returned complete: under SPMD the payload is staged in the
+    next stage's ring mailbox (blocking only when the receiver lags a
+    full ring behind) and stays in flight while this stage moves on to
+    its next schedule op — that window is recorded as an ``mp.async``
+    span on the worker timeline.
     """
     shape = tuple(x.shape)
     scheme = "none" if _is_identity(compressor) else compressor.name
@@ -457,8 +598,13 @@ def pipeline_transfer(
                       layer, f"boundary{boundary}"),
             enabled=ctx.records,
         )
+        issued_at = time.monotonic()
         ctx.transport.send(ctx.peer(ctx.stage + 1), out.data, ctx.timeout)
-        return out
+        ctx.transport.record_span(
+            _async_label("pp send", f"boundary{boundary}", None),
+            issued_at, cat="mp.async",
+        )
+        return CommHandle.ready(out)
 
     tracker.record(
         CommEvent("send", "pp", "forward", scheme, fwd_bytes, 2, shape,
@@ -476,14 +622,19 @@ def pipeline_transfer(
                 wire_bytes=fwd_bytes, dense_bytes=dense_bytes(shape),
                 residual=_residual_of(compressor, boundary_site),
             )
-    return _with_backward_event(
+    return CommHandle.ready(_with_backward_event(
         out, tracker,
         CommEvent("send", "pp", "backward", scheme, bwd_bytes, 2, shape,
                   layer, f"boundary{boundary}"),
-    )
+    ))
 
 
 # ----------------------------------------------------------------------
+def _async_label(op: str, site: str, layer: int | None) -> str:
+    """Display label of one in-flight exchange in worker timelines."""
+    return f"{op} {_site_label(site, layer)}"
+
+
 def _site_label(site: str, layer: int | None) -> str:
     """Fully-qualified label of one TP compression site."""
     base = site or "default"

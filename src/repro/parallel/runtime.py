@@ -45,6 +45,11 @@ def _default_backend() -> str:
     return os.environ.get("REPRO_BACKEND", "inproc")
 
 
+def _default_schedule() -> str:
+    """Pipeline schedule, overridable via ``REPRO_SCHEDULE`` (CI matrix)."""
+    return os.environ.get("REPRO_SCHEDULE", "gpipe")
+
+
 @dataclass
 class ModelParallelConfig:
     """One experimental setting: model × layout × compression scheme.
@@ -54,6 +59,14 @@ class ModelParallelConfig:
     oracle, ``"mp"`` spawns one worker process per rank.  The default is
     read from the ``REPRO_BACKEND`` environment variable so a test run can
     be flipped wholesale without touching call sites.
+
+    ``pipeline_schedule`` picks the per-stage op order (``"gpipe"`` or
+    ``"1f1b"``, see :mod:`repro.parallel.pipeline`); the default comes
+    from ``REPRO_SCHEDULE`` so the CI matrix can flip it globally.  Both
+    schedules produce bitwise-identical losses and gradients — the choice
+    only moves peak activation memory and comm/compute overlap.
+    ``num_microbatches`` splits the batch along dim 0; with the default 1
+    the schedules coincide and existing baselines stay comparable.
     """
 
     model: TransformerConfig
@@ -63,14 +76,24 @@ class ModelParallelConfig:
     policy: CompressionPolicy | None = None
     seed: int = 0
     backend: str = field(default_factory=_default_backend)
+    pipeline_schedule: str = field(default_factory=_default_schedule)
+    num_microbatches: int = 1
 
     def __post_init__(self):
         from repro.parallel.backend.base import BACKEND_NAMES
+        from repro.parallel.pipeline import SCHEDULES
 
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown backend {self.backend!r}; valid: {list(BACKEND_NAMES)}"
             )
+        if self.pipeline_schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown pipeline_schedule {self.pipeline_schedule!r}; "
+                f"valid: {list(SCHEDULES)}"
+            )
+        if self.num_microbatches < 1:
+            raise ValueError("num_microbatches must be >= 1")
         if self.policy is None:
             if self.scheme == "w/o":
                 self.policy = CompressionPolicy.none(self.model.num_layers)

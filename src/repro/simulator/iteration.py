@@ -8,7 +8,10 @@ One training iteration under TP × PP decomposes as:
   all-reduces (compression never shrinks these — the input-gradient
   reduction is part of the layer math, not a message we encode);
 - encode/decode kernel overheads at every compressed site;
-- the GPipe schedule stretches per-stage work over ``m + pp − 1`` slots;
+- the pipeline schedule stretches per-stage work over ``m + pp − 1``
+  slots (GPipe and non-interleaved 1F1B share that makespan; 1F1B
+  interleaves the steady state, overlapping ``(m−1)(tf+tb)`` of forward
+  and backward work — reported as :attr:`IterationBreakdown.overlap_ms`);
 - pipeline boundaries add per-microbatch sends gated by the slowest
   boundary link.
 
@@ -25,7 +28,7 @@ from dataclasses import dataclass, field
 from repro.compression import CompressionPolicy
 from repro.compression.notation import SchemeSpec, scheme_spec
 from repro.nn.transformer import TransformerConfig
-from repro.parallel.pipeline import PipelinePartition
+from repro.parallel.pipeline import SCHEDULES, PipelinePartition, warmup_depth
 from repro.parallel.topology import ClusterTopology, ParallelLayout
 from repro.simulator.calibration import CALIBRATION, Calibration
 from repro.simulator.comm import (
@@ -60,8 +63,14 @@ class SimSetting:
     scheme: str = "w/o"
     policy: CompressionPolicy | None = None
     model: TransformerConfig = field(default_factory=TransformerConfig.bert_large)
+    schedule: str = "gpipe"
 
     def __post_init__(self):
+        if self.schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown pipeline schedule {self.schedule!r}; "
+                f"valid: {list(SCHEDULES)}"
+            )
         if self.policy is None:
             if self.scheme == "w/o":
                 self.policy = CompressionPolicy.none(self.model.num_layers)
@@ -85,10 +94,17 @@ class IterationBreakdown:
     encode_ms: float  # "Tensor Enc."
     decode_ms: float  # "Tensor Dec."
     tensor_comm_ms: float  # forward g collectives ("Tensor Comm.")
+    #: Wall time where the schedule runs forward and backward compute
+    #: concurrently (1F1B steady state); 0 under GPipe, whose forward
+    #: region drains before the first backward starts.  Counted once in
+    #: :attr:`total_ms` — the Forward and Backward columns each contain
+    #: their full makespan, so their sum double-counts this window.
+    overlap_ms: float = 0.0
 
     @property
     def total_ms(self) -> float:
-        return self.forward_ms + self.backward_ms + self.optimizer_ms + self.pipeline_ms
+        return (self.forward_ms + self.backward_ms + self.optimizer_ms
+                + self.pipeline_ms - self.overlap_ms)
 
 
 class IterationSimulator:
@@ -216,6 +232,55 @@ class IterationSimulator:
         bwd = (self.cal.backward_ratio * layer_fwd + layer_ew) * per_stage
         return fwd, bwd
 
+    def compute_makespans(self) -> tuple[float, float, float]:
+        """(forward, backward, overlap) compute makespans of the schedule.
+
+        GPipe drains all forwards before the first backward, so the two
+        regions abut: ``slots·tf`` then ``slots·tb``, overlap 0.  Under
+        non-interleaved 1F1B the last stage starts B0 at ``pp·tf`` while
+        earlier stages still have steady-state forwards to run, so the
+        forward region stretches to ``pp·tf + (m−1)(tf+tb)`` and the
+        backward region to ``(m−1)·tf + (m+pp−1)·tb`` — the two windows
+        share exactly ``(m−1)(tf+tb)`` of wall time, and the iteration
+        makespan ``(m+pp−1)(tf+tb)`` matches GPipe's (the non-interleaved
+        schedule shrinks memory and overlaps comm, not the bubble).
+        """
+        s = self.s
+        m = s.num_microbatches
+        tf, tb = self.stage_compute_ms()
+        slots = m + s.pp - 1
+        if s.schedule == "gpipe":
+            return slots * tf, slots * tb, 0.0
+        fwd = s.pp * tf + (m - 1) * (tf + tb)
+        bwd = (m - 1) * tf + slots * tb
+        return fwd, bwd, (m - 1) * (tf + tb)
+
+    def stage_op_starts(self, stage: int) -> tuple[list[float], list[float]]:
+        """Start times (ms) of stage ``stage``'s F and B ops, per microbatch.
+
+        The tight schedule under uniform per-stage times ``tf``/``tb``:
+
+        - GPipe: ``F_i`` at ``(stage+i)·tf``; ``B_i`` drains after the
+          forward region at ``slots·tf + (pp−1−stage+i)·tb``.
+        - 1F1B: ``B_i`` is gated by the downstream grad,
+          ``pp·tf + i(tf+tb) + (pp−1−stage)·tb`` on every stage; warmup
+          forwards run at ``(stage+i)·tf`` and each steady-state forward
+          back-to-back against its paired backward (``B_{i−w}`` start −
+          ``tf``, with ``w`` the stage's warmup depth).
+        """
+        s = self.s
+        m = s.num_microbatches
+        tf, tb = self.stage_compute_ms()
+        if s.schedule == "gpipe":
+            fwd_end = (m + s.pp - 1) * tf
+            return ([(stage + i) * tf for i in range(m)],
+                    [fwd_end + (s.pp - 1 - stage + i) * tb for i in range(m)])
+        w = warmup_depth(s.schedule, s.pp, stage, m)
+        b = [s.pp * tf + i * (tf + tb) + (s.pp - 1 - stage) * tb
+             for i in range(m)]
+        f = [(stage + i) * tf if i < w else b[i - w] - tf for i in range(m)]
+        return f, b
+
     def encdec_multipliers(self) -> tuple[int, int]:
         """(encode, decode/ae-backward) kernel multiplicities per site.
 
@@ -241,7 +306,6 @@ class IterationSimulator:
     def breakdown(self) -> IterationBreakdown:
         s, cal = self.s, self.cal
         m = s.num_microbatches
-        slots = m + s.pp - 1
         compressed_scheme = self.spec.family != "none"
 
         fwd_comm_total = 0.0  # per iteration, all layers, all microbatches
@@ -262,7 +326,6 @@ class IterationSimulator:
                 enc_total += 2 * enc_mult * site.encode_ms
                 dec_total += 2 * gpu_mult * site.decode_ms
                 ae_bwd_total += 2 * gpu_mult * site.backward_ms
-        fwd_compute_stage, bwd_compute_stage = self.stage_compute_ms()
 
         # Pipeline boundary sends + encode/decode at compressed boundaries.
         pipeline_ms = 0.0
@@ -276,8 +339,9 @@ class IterationSimulator:
                     enc_total += enc_mult * bcost.encode_ms
                     dec_total += gpu_mult * bcost.decode_ms
 
-        forward_ms = slots * fwd_compute_stage + fwd_comm_total + enc_total + dec_total
-        backward_ms = slots * bwd_compute_stage + bwd_comm_total + ae_bwd_total
+        fwd_makespan, bwd_makespan, overlap_ms = self.compute_makespans()
+        forward_ms = fwd_makespan + fwd_comm_total + enc_total + dec_total
+        backward_ms = bwd_makespan + bwd_comm_total + ae_bwd_total
         return IterationBreakdown(
             forward_ms=forward_ms,
             backward_ms=backward_ms,
@@ -286,6 +350,7 @@ class IterationSimulator:
             encode_ms=enc_total,
             decode_ms=dec_total,
             tensor_comm_ms=fwd_comm_total,
+            overlap_ms=overlap_ms,
         )
 
     def total_ms(self) -> float:

@@ -87,10 +87,14 @@ class TestTraceArtifact:
         with open(trace_path) as fh:
             trace = json.load(fh)
         pids = {e["pid"] for e in trace["traceEvents"]}
-        assert pids == {1, 2}  # profiled process + simulated process
+        assert pids == {1, 2, 3}  # profiled + simulated + mp worker timelines
         cats = {e.get("cat", "") for e in trace["traceEvents"]}
         assert any(c.startswith("prof.") for c in cats)
         assert "forward_compute" in cats  # simulated half intact
+        # The worker-timeline member must carry at least one in-flight
+        # (async b/e) comm window — the bench smoke's CI assertion.
+        begins = [e for e in trace["traceEvents"] if e.get("ph") == "b"]
+        assert begins and all(e["cat"] == "mp.async" for e in begins)
 
 
 class TestReportRendering:

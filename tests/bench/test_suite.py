@@ -34,7 +34,8 @@ class TestDefaultSuite:
     def test_case_params(self):
         case = BenchCase(id="x", kind="sim", scheme="Q2", tp=2, pp=2)
         assert case.params() == {"scheme": "Q2", "tp": 2, "pp": 2,
-                                 "backend": "inproc"}
+                                 "backend": "inproc", "schedule": "gpipe",
+                                 "microbatches": 1}
 
     def test_backend_step_covers_both_backends(self):
         suite = default_suite()

@@ -1,7 +1,7 @@
-"""Stress tests for the shared-memory transport under the mp backend.
+"""Stress tests for the shared-memory ring transport under the mp backend.
 
 Everything here runs in one process: ``ShmChannel`` works over any
-writable buffer, so the single-producer/single-consumer protocol is
+writable buffer, so the single-producer/single-consumer ring protocol is
 exercised over plain bytearrays, and ``RankTransport`` peers attach to
 the same segment from threads.  The multi-process path on top of this
 protocol is covered by ``test_backend_equivalence.py``.
@@ -14,6 +14,7 @@ import pytest
 
 from repro.parallel.backend import (
     BackendError,
+    DEFAULT_SLOTS,
     HEADER_SIZE,
     RankTransport,
     ShmBarrier,
@@ -25,11 +26,11 @@ CAPACITY = 1 << 16
 WIRE_DTYPES = ["float32", "float16", "float64", "int32", "int64", "uint8", "bool"]
 
 
-def make_pair(capacity=CAPACITY, src=0, dst=1):
-    """Sender and receiver views of one channel slot."""
-    buf = bytearray(HEADER_SIZE + capacity)
-    tx = ShmChannel(buf, capacity, src=src, dst=dst)
-    rx = ShmChannel(buf, capacity, src=src, dst=dst)
+def make_pair(capacity=CAPACITY, src=0, dst=1, slots=DEFAULT_SLOTS):
+    """Sender and receiver views of one ring mailbox."""
+    buf = bytearray(slots * (HEADER_SIZE + capacity))
+    tx = ShmChannel(buf, capacity, src=src, dst=dst, slots=slots)
+    rx = ShmChannel(buf, capacity, src=src, dst=dst, slots=slots)
     return tx, rx
 
 
@@ -61,8 +62,16 @@ class TestShmChannel:
             out = rx.recv()
             assert out.shape == shape and out.dtype == np.float32
 
+    def test_zero_dim_scalar_round_trips(self):
+        tx, rx = make_pair()
+        arr = np.full((), 3.25, dtype=np.float32)
+        tx.send(arr)
+        out = rx.recv()
+        assert out.shape == () and out.dtype == np.float32
+        assert out == np.float32(3.25)
+
     def test_200_randomized_shapes_per_dtype(self):
-        """Soak the mailbox: many sequential transfers, random shapes."""
+        """Soak the ring: many sequential transfers across wraparound."""
         rng = np.random.default_rng(0)
         for dtype in ("float32", "float16"):
             tx, rx = make_pair()
@@ -74,6 +83,29 @@ class TestShmChannel:
                 out = rx.recv()
                 assert out.dtype == arr.dtype and out.shape == arr.shape
                 assert np.array_equal(out, arr)
+
+    def test_sender_runs_ahead_up_to_ring_depth(self):
+        """A sender never blocks until the receiver lags a full ring."""
+        tx, rx = make_pair(slots=4)
+        for i in range(4):  # all four issue without a matching recv
+            tx.send(np.full((8,), i, dtype=np.int32), timeout=0.5)
+        for i in range(4):  # FIFO drain, in order
+            assert rx.recv()[0] == i
+
+    def test_fifo_order_preserved_across_wraparound(self):
+        tx, rx = make_pair(slots=3)
+        sent = 0
+        received = 0
+        for i in range(17):
+            tx.send(np.full((2,), i, dtype=np.int64))
+            sent += 1
+            if sent - received == 3:  # ring full: drain two, keep one in flight
+                assert rx.recv()[0] == received
+                assert rx.recv()[0] == received + 1
+                received += 2
+        while received < sent:
+            assert rx.recv()[0] == received
+            received += 1
 
     def test_noncontiguous_input_is_sent_contiguously(self):
         tx, rx = make_pair()
@@ -90,9 +122,11 @@ class TestShmChannel:
         assert tx._send_seq == rx._recv_seq == 5
 
     def test_out_of_order_message_raises(self):
-        tx, rx = make_pair()
+        tx, rx = make_pair(slots=4)
         tx.send(np.zeros(1, dtype=np.float32))
-        rx._recv_seq = 7  # receiver desyncs: next seq must be 8, got 1
+        # Receiver desyncs by a full ring: it polls slot 0 expecting seq 9
+        # but finds the stale seq-1 message there.
+        rx._recv_seq = 8
         with pytest.raises(BackendError, match="out-of-order"):
             rx.recv()
 
@@ -115,22 +149,37 @@ class TestShmChannel:
         with pytest.raises(BackendError, match="unsupported wire dtype"):
             tx.send(np.zeros(2, dtype=np.complex64))
 
-    def test_send_into_full_slot_times_out_naming_receiver(self):
-        tx, _ = make_pair(src=2, dst=5)
+    def test_send_into_full_ring_times_out_naming_mailbox_and_seq(self):
+        """Deadline attribution: peer rank, mailbox, slot and message seq."""
+        tx, _ = make_pair(src=2, dst=5, slots=2)
+        tx.send(np.zeros(1, dtype=np.float32))
         tx.send(np.zeros(1, dtype=np.float32))
         with pytest.raises(BackendError, match="rank 5") as exc:
             tx.send(np.zeros(1, dtype=np.float32), timeout=0.05)
         assert exc.value.rank == 5
+        msg = str(exc.value)
+        assert "mailbox 2->5" in msg and "slot 0" in msg and "seq 3" in msg
 
-    def test_recv_from_empty_slot_times_out_naming_sender(self):
+    def test_recv_from_empty_ring_times_out_naming_sender(self):
         _, rx = make_pair(src=3, dst=0)
         with pytest.raises(BackendError, match="rank 3") as exc:
             rx.recv(timeout=0.05)
         assert exc.value.rank == 3
+        msg = str(exc.value)
+        assert "mailbox 3->0" in msg and "seq 1" in msg
 
     def test_buffer_too_small_rejected_at_construction(self):
         with pytest.raises(ValueError, match="too small"):
             ShmChannel(bytearray(HEADER_SIZE), 64, src=0, dst=1)
+
+    def test_single_slot_ring_degenerates_to_rendezvous(self):
+        tx, rx = make_pair(slots=1)
+        for i in range(3):
+            tx.send(np.full((1,), i, dtype=np.int32))
+            assert rx.recv()[0] == i
+        tx.send(np.zeros(1, dtype=np.float32))
+        with pytest.raises(BackendError, match="drain"):
+            tx.send(np.zeros(1, dtype=np.float32), timeout=0.05)
 
 
 class TestShmBarrier:
@@ -140,12 +189,13 @@ class TestShmBarrier:
         assert barrier.wait() == 1
         assert barrier.wait() == 2
 
-    def test_timeout_names_the_straggler_rank(self):
+    def test_timeout_names_the_straggler_rank_and_generation(self):
         buf = bytearray(8)
         barrier = ShmBarrier(buf, world=2, rank=0)
         with pytest.raises(BackendError, match="rank 1") as exc:
             barrier.wait(timeout=0.05)
         assert exc.value.rank == 1
+        assert "generation 1" in str(exc.value)
 
 
 class TestRankTransport:
@@ -174,6 +224,40 @@ class TestRankTransport:
                 for src, arr in gathered.items():
                     assert np.array_equal(
                         arr, np.full((3, 3), float(src), dtype=np.float32))
+        finally:
+            creator.close()
+
+    def test_exchange_issue_overlaps_with_local_work(self):
+        """issue → independent work → wait returns the full gather."""
+        creator = RankTransport.create(world=2)
+        results = {}
+
+        def run(rank):
+            peer = RankTransport(creator.spec, rank)
+            try:
+                peer.timeline = []
+                arr = np.full((4,), float(rank), dtype=np.float32)
+                handle = peer.exchange_issue([0, 1], arr, timeout=10.0)
+                assert not handle.done
+                scratch = arr * 2  # stand-in for overlapped compute
+                out = handle.wait(timeout=10.0)
+                assert handle.done
+                assert handle.wait() is out  # idempotent
+                results[rank] = (out, scratch, list(peer.timeline))
+            finally:
+                peer.close()
+
+        try:
+            threads = [threading.Thread(target=run, args=(r,)) for r in (0, 1)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            for rank in (0, 1):
+                out, _, timeline = results[rank]
+                assert set(out) == {0, 1}
+                cats = {s["cat"] for s in timeline}
+                assert "mp.async" in cats  # in-flight window recorded
         finally:
             creator.close()
 
@@ -231,6 +315,17 @@ class TestRankTransport:
         creator.close()
         with pytest.raises(BackendError, match="gone"):
             RankTransport(spec, 0)
+
+    def test_spec_without_slots_attaches_with_default_ring(self):
+        """Older specs (no "slots" key) keep working via the default."""
+        creator = RankTransport.create(world=2)
+        try:
+            spec = {k: v for k, v in creator.spec.items() if k != "slots"}
+            peer = RankTransport(spec, 0)
+            assert peer.slots == DEFAULT_SLOTS
+            peer.close()
+        finally:
+            creator.close()
 
     def test_close_is_idempotent_and_no_leak_across_constructions(self):
         """Repeated create/close cycles never collide or leak segments."""

@@ -1,0 +1,94 @@
+"""Closed-form 1F1B schedule timing vs GPipe in the iteration simulator.
+
+Non-interleaved 1F1B keeps GPipe's makespan — ``(m+pp−1)(tf+tb)`` with
+uniform stage times — while overlapping ``(m−1)(tf+tb)`` of forward and
+backward wall time.  These tests pin the closed forms and check that the
+per-op start times the trace renderer uses are a *feasible* schedule:
+no local overlap on a stage, every forward waits for its upstream
+forward, every backward for its downstream backward.
+"""
+
+import pytest
+
+from repro.parallel.topology import ClusterTopology, LinkType
+from repro.simulator.iteration import IterationSimulator, SimSetting
+
+
+def sim_for(tp=1, pp=4, m=8, scheme="w/o", schedule="1f1b"):
+    topo = ClusterTopology(1, tp * pp, LinkType.PCIE)
+    return IterationSimulator(SimSetting(topo, tp, pp, 32, 512,
+                                         num_microbatches=m, scheme=scheme,
+                                         schedule=schedule))
+
+
+class TestMakespans:
+    @pytest.mark.parametrize("pp,m", [(2, 1), (2, 4), (4, 2), (4, 8)])
+    def test_1f1b_keeps_gpipe_iteration_makespan(self, pp, m):
+        g = sim_for(pp=pp, m=m, schedule="gpipe")
+        f = sim_for(pp=pp, m=m, schedule="1f1b")
+        tf, tb = g.stage_compute_ms()
+        slots = m + pp - 1
+        gf, gb, go = g.compute_makespans()
+        ff, fb, fo = f.compute_makespans()
+        assert go == 0.0
+        assert gf + gb == pytest.approx(slots * (tf + tb))
+        # 1F1B: same end-to-end wall time, overlap accounts for the rest.
+        assert ff + fb - fo == pytest.approx(slots * (tf + tb))
+        assert fo == pytest.approx((m - 1) * (tf + tb))
+
+    def test_m1_schedules_coincide(self):
+        g = sim_for(m=1, schedule="gpipe")
+        f = sim_for(m=1, schedule="1f1b")
+        assert g.compute_makespans() == f.compute_makespans()
+        assert g.breakdown() == f.breakdown()
+
+    @pytest.mark.parametrize("scheme", ["w/o", "T2", "A2"])
+    def test_total_ms_identical_across_schedules(self, scheme):
+        g = sim_for(tp=2, pp=2, m=4, scheme=scheme, schedule="gpipe")
+        f = sim_for(tp=2, pp=2, m=4, scheme=scheme, schedule="1f1b")
+        assert f.breakdown().total_ms == pytest.approx(g.breakdown().total_ms)
+        # Comm/enc/dec columns are per-iteration sums — schedule-blind.
+        assert f.breakdown().tensor_comm_ms == g.breakdown().tensor_comm_ms
+        assert f.breakdown().encode_ms == g.breakdown().encode_ms
+        assert f.breakdown().pipeline_ms == g.breakdown().pipeline_ms
+
+    def test_overlap_subtracted_once_from_total(self):
+        b = sim_for(pp=2, m=4).breakdown()
+        assert b.overlap_ms > 0
+        assert b.total_ms == pytest.approx(
+            b.forward_ms + b.backward_ms + b.optimizer_ms + b.pipeline_ms
+            - b.overlap_ms)
+
+    def test_unknown_schedule_rejected(self):
+        topo = ClusterTopology(1, 2, LinkType.PCIE)
+        with pytest.raises(ValueError, match="unknown pipeline schedule"):
+            SimSetting(topo, 1, 2, 32, 512, schedule="zigzag")
+
+
+class TestOpStartFeasibility:
+    @pytest.mark.parametrize("schedule", ["gpipe", "1f1b"])
+    @pytest.mark.parametrize("pp,m", [(2, 4), (4, 2), (4, 8)])
+    def test_starts_form_a_feasible_schedule(self, schedule, pp, m):
+        sim = sim_for(pp=pp, m=m, schedule=schedule)
+        tf, tb = sim.stage_compute_ms()
+        eps = 1e-9
+        starts = [sim.stage_op_starts(st) for st in range(pp)]
+        for st in range(pp):
+            f, b = starts[st]
+            # A stage is one executor: its ops must not overlap locally.
+            ops = sorted([(t, tf) for t in f] + [(t, tb) for t in b])
+            for (t0, d0), (t1, _) in zip(ops, ops[1:]):
+                assert t1 >= t0 + d0 - eps
+            for i in range(m):
+                if st > 0:  # forward needs the upstream activation
+                    assert f[i] >= starts[st - 1][0][i] + tf - eps
+                if st < pp - 1:  # backward needs the downstream gradient
+                    assert b[i] >= starts[st + 1][1][i] + tb - eps
+                assert b[i] >= f[i] + tf - eps  # own forward first
+
+    def test_1f1b_backward_starts_earlier_than_gpipe(self):
+        g = sim_for(pp=4, m=8, schedule="gpipe")
+        f = sim_for(pp=4, m=8, schedule="1f1b")
+        # The last stage kicks off B0 right after F0 under 1F1B instead of
+        # waiting for the full forward region to drain.
+        assert f.stage_op_starts(3)[1][0] < g.stage_op_starts(3)[1][0]
