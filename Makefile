@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint lint-dynamic check bench bench-compare
+.PHONY: test lint lint-dynamic lint-changed model-check concurrency-verify \
+	check bench bench-compare
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,8 +13,28 @@ lint:
 lint-dynamic:
 	$(PYTHON) -m repro.lint --dynamic src/
 
-# The merge gate: tier-1 tests plus the full static+dynamic lint.
-check: test lint-dynamic
+# Only the .py files touched since the merge-base with main.
+lint-changed:
+	$(PYTHON) -m repro.lint --changed-only
+
+# Exhaustive bounded model check of the shm transport (DYN004) plus the
+# static pipeline-schedule verifier (DYN005).
+model-check:
+	$(PYTHON) -m repro.lint --model-check
+
+# Full concurrency verification: model-check the protocol, then record a
+# real mp 1f1b 2x2 step and replay its event log through the DYN003
+# happens-before race detector.
+concurrency-verify: model-check
+	rm -rf conc-logs && mkdir -p conc-logs
+	$(PYTHON) -m repro.obs mp-trace --out conc-logs/mp-1f1b.trace.json \
+		--scheme A2 --tp 2 --pp 2 --schedule 1f1b --microbatches 4 \
+		--conc-log conc-logs
+	$(PYTHON) -m repro.lint --race-log conc-logs
+
+# The merge gate: tier-1 tests, the full static+dynamic lint, and the
+# transport/schedule model checkers.
+check: test lint-dynamic model-check
 
 # Full pinned perf suite: BENCH_<sha>.json + merged Chrome trace in bench-out/.
 bench:

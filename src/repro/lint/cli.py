@@ -4,6 +4,9 @@ Usage::
 
     python -m repro.lint src/                 # static AST rules
     python -m repro.lint --dynamic src/       # + graph sanitizer + SPMD check
+    python -m repro.lint --changed-only       # only files touched vs merge-base
+    python -m repro.lint --model-check        # transport model checker + schedules
+    python -m repro.lint --race-log runs/conc # replay a recorded concurrency log
     python -m repro.lint --list-rules
     python -m repro.lint --fix-report report.json src/
 
@@ -14,7 +17,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
+from pathlib import Path
 
 from repro.lint.engine import Finding, LintError, available_rules, lint_paths
 
@@ -26,6 +31,14 @@ DYNAMIC_RULES = (
      "tiny MP model forward/backward produces only finite, on-policy arrays"),
     ("DYN002", "spmd-consistency",
      "recorded CommEvent stream matches the closed-form (scheme, tp, pp) oracle"),
+    ("DYN003", "happens-before",
+     "recorded concurrency log is race-free under vector-clock replay (--race-log)"),
+    ("DYN004", "model-check",
+     "every interleaving of the bounded ring-mailbox/barrier scenarios is safe "
+     "(--model-check)"),
+    ("DYN005", "schedule-check",
+     "pipeline schedules are complete, acyclic, deadlock-free and honest about "
+     "peak in-flight microbatches (--model-check)"),
 )
 
 
@@ -41,6 +54,19 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="run only the named rules (ids or slugs)")
     parser.add_argument("--dynamic", action="store_true",
                         help="also run the graph sanitizer and SPMD consistency check")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="lint only .py files changed since the merge-base "
+                             "with --base (plus untracked files)")
+    parser.add_argument("--base", default="main", metavar="REF",
+                        help="base ref for --changed-only (default: main)")
+    parser.add_argument("--race-log", metavar="PATH",
+                        help="replay a recorded concurrency event log (file or "
+                             "directory of conc-rank*.jsonl) through the DYN003 "
+                             "happens-before checker")
+    parser.add_argument("--model-check", action="store_true",
+                        help="exhaustively model-check the ring-mailbox/barrier "
+                             "protocol (DYN004) and verify the pipeline "
+                             "schedules (DYN005)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the report as JSON instead of human-readable lines")
     parser.add_argument("--fix-report", metavar="PATH",
@@ -53,7 +79,7 @@ def _list_rules() -> int:
     for rule in available_rules():
         print(f"{rule.id}  {rule.name:<20} {rule.summary}")
     for rid, name, summary in DYNAMIC_RULES:
-        print(f"{rid}  {name:<20} {summary} (--dynamic)")
+        print(f"{rid}  {name:<20} {summary}")
     return 0
 
 
@@ -68,6 +94,63 @@ def _dynamic_findings() -> list[Finding]:
     for message in run_spmd_check():
         findings.append(Finding("DYN002", "spmd-consistency", message, "<dynamic>", 0))
     return findings
+
+
+def _race_findings(log_path: str) -> list[Finding]:
+    from repro.lint.race_check import run_race_check_on_path
+
+    return [Finding("DYN003", "happens-before", message, str(log_path), 0)
+            for message in run_race_check_on_path(log_path)]
+
+
+def _model_check_findings() -> list[Finding]:
+    from repro.lint.model_check import run_model_check
+    from repro.lint.schedule_check import run_schedule_check
+
+    stats: dict = {}
+    findings = [Finding("DYN004", "model-check", message, "<dynamic>", 0)
+                for message in run_model_check(stats)]
+    print(f"model check: {stats.get('scenarios', 0)} scenarios, "
+          f"{stats.get('states', 0)} states, "
+          f"{stats.get('transitions', 0)} transitions explored exhaustively",
+          file=sys.stderr)
+    findings.extend(
+        Finding("DYN005", "schedule-check", message, "<dynamic>", 0)
+        for message in run_schedule_check()
+    )
+    return findings
+
+
+def _changed_files(base: str, paths: list[str]) -> list[Path]:
+    """``.py`` files changed since ``merge-base(HEAD, base)`` plus untracked.
+
+    When explicit ``paths`` are also given, only changed files under one
+    of them are kept, so ``repro-lint --changed-only src/`` scopes the
+    diff to the source tree.
+    """
+    def git(*args: str) -> str:
+        proc = subprocess.run(["git", *args], capture_output=True, text=True)
+        if proc.returncode != 0:
+            raise LintError(
+                f"git {' '.join(args)} failed: {proc.stderr.strip() or 'unknown error'}"
+            )
+        return proc.stdout
+
+    merge_base = git("merge-base", "HEAD", base).strip()
+    names = git("diff", "--name-only", "--diff-filter=d", merge_base,
+                "--", "*.py").splitlines()
+    names += git("ls-files", "--others", "--exclude-standard",
+                 "--", "*.py").splitlines()
+    scopes = [Path(p).resolve() for p in paths]
+    out: list[Path] = []
+    for name in sorted(set(names)):
+        p = Path(name)
+        if not p.is_file():
+            continue  # deleted or moved away since the merge base
+        if scopes and not any(p.resolve().is_relative_to(s) for s in scopes):
+            continue
+        out.append(p)
+    return out
 
 
 def _report_dict(findings: list[Finding], checked_dynamic: bool) -> dict:
@@ -89,21 +172,32 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.list_rules:
         return _list_rules()
-    if not args.paths:
+    wants_dynamic_only = args.model_check or args.race_log
+    if not args.paths and not args.changed_only and not wants_dynamic_only:
         parser.print_usage(sys.stderr)
-        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        print("error: no paths given (or use --changed-only / --model-check / "
+              "--race-log / --list-rules)", file=sys.stderr)
         return 2
 
     rule_ids = [r.strip() for r in args.rules.split(",")] if args.rules else None
     try:
-        findings = lint_paths(args.paths, rule_ids)
+        if args.changed_only:
+            targets: list = _changed_files(args.base, args.paths)
+        else:
+            targets = list(args.paths)
+        findings = lint_paths(targets, rule_ids) if targets else []
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    checked_dynamic = bool(args.dynamic or args.model_check or args.race_log)
     if args.dynamic:
         findings.extend(_dynamic_findings())
+    if args.model_check:
+        findings.extend(_model_check_findings())
+    if args.race_log:
+        findings.extend(_race_findings(args.race_log))
 
-    report = _report_dict(findings, args.dynamic)
+    report = _report_dict(findings, checked_dynamic)
     if args.fix_report:
         with open(args.fix_report, "w") as fh:
             json.dump(report, fh, indent=2)
@@ -112,7 +206,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         for f in findings:
             print(f.format())
-        suffix = " (static + dynamic)" if args.dynamic else ""
+        suffix = " (static + dynamic)" if checked_dynamic else ""
         if findings:
             print(f"{len(findings)} finding(s){suffix}")
         else:

@@ -7,8 +7,12 @@ so each file is read and parsed exactly once per run.
 
 Suppression: appending ``# lint: disable=<rule>[,<rule>...]`` to the
 flagged line silences those rules for that line (``disable=all`` silences
-every rule).  Suppressions are intentionally line-scoped — a blanket
-file-level escape hatch would defeat the point of invariant checking.
+every rule).  A comment on the *first* line of a multi-line statement
+covers the whole statement — a finding anchored to a continuation line
+(an argument three lines into a call) honors the suppression where a
+human would write it, next to the statement it governs.  Suppressions
+are intentionally statement-scoped — a blanket file-level escape hatch
+would defeat the point of invariant checking.
 """
 
 from __future__ import annotations
@@ -73,6 +77,7 @@ class SourceFile:
         self.text = text
         self.lines = text.splitlines()
         self.tree = ast.parse(text, filename=path)
+        self._stmt_first_line: dict[int, int] | None = None
 
     @property
     def is_test(self) -> bool:
@@ -81,14 +86,45 @@ class SourceFile:
         name = Path(self.path).name
         return "tests" in parts or name.startswith("test_") or name.startswith("conftest")
 
-    def suppressed(self, line: int) -> set[str]:
-        """Rule ids (and slugs) disabled on ``line`` via an inline comment."""
+    def _line_tokens(self, line: int) -> set[str]:
         if not 1 <= line <= len(self.lines):
             return set()
         m = _SUPPRESS_RE.search(self.lines[line - 1])
         if not m:
             return set()
         return {tok.strip() for tok in m.group(1).split(",") if tok.strip()}
+
+    def _stmt_anchor(self, line: int) -> int | None:
+        """First line of the innermost statement whose span covers ``line``.
+
+        Lets a ``# lint: disable=`` comment on a statement's opening line
+        silence findings anchored anywhere inside the statement — a call
+        argument on a continuation line, a wrapped condition, etc.  The
+        *innermost* covering statement wins, so a suppression on an
+        ``if`` header does not leak into the statements of its body.
+        """
+        if self._stmt_first_line is None:
+            spans: dict[int, int] = {}
+            # Statements in ast.walk order nest outer-before-inner, so a
+            # later (inner) statement overwrites the lines it covers.
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.stmt) and node.end_lineno is not None:
+                    for ln in range(node.lineno, node.end_lineno + 1):
+                        spans[ln] = node.lineno
+            self._stmt_first_line = spans
+        return self._stmt_first_line.get(line)
+
+    def suppressed(self, line: int) -> set[str]:
+        """Rule ids (and slugs) disabled for ``line`` via inline comments.
+
+        The union of tokens on the line itself and on the first line of
+        the innermost statement spanning it (multi-line statements).
+        """
+        tokens = self._line_tokens(line)
+        anchor = self._stmt_anchor(line)
+        if anchor is not None and anchor != line:
+            tokens = tokens | self._line_tokens(anchor)
+        return tokens
 
 
 class Rule(Protocol):

@@ -1,0 +1,158 @@
+"""DYN005: static verification of the pipeline schedules.
+
+Backend workers execute :func:`repro.parallel.pipeline.schedule_ops`
+verbatim, so a malformed schedule is a *distributed* bug: a stage that
+waits for a boundary tensor nobody will send deadlocks the whole gang,
+and an out-of-order backward silently changes gradient accumulation
+order (breaking the bitwise oracle equivalence the test suite asserts).
+This checker proves, for every ``schedule × pp × m`` in a bounded grid,
+that the per-stage op lists compose into a well-formed global schedule:
+
+- **Complete and duplicate-free**: every stage runs exactly one ``F``
+  and one ``B`` per microbatch, nothing else.
+- **Deterministically ordered**: forwards and backwards are each issued
+  in ascending microbatch order on every stage (the invariant that keeps
+  gradient accumulation — and stateful compressors — bitwise-identical
+  across schedules and backends).
+- **Acyclic and dependency-complete**: an event-driven simulation runs
+  every stage's list against the true dataflow — ``F(s, i)`` needs
+  ``F(s-1, i)`` (boundary activation), ``B(s, i)`` needs ``F(s, i)``
+  and ``B(s+1, i)`` (boundary gradient) — and must retire every op.  A
+  stall is reported with the stage and op that can never become ready;
+  termination of the simulation is precisely acyclicity of the combined
+  "program order + dataflow" relation.
+- **Honest memory bound**: the highest live-graph count reached on each
+  stage (forwards begun minus backwards completed, a schedule-intrinsic
+  quantity) must equal
+  :func:`~repro.parallel.pipeline.peak_inflight_microbatches` — the
+  number the memory model and the paper-facing analysis rely on.
+- **Documented makespan**: with unit-time ops, the critical path must
+  finish in ``(m + pp - 1)`` slots per direction
+  (:func:`~repro.parallel.pipeline.iteration_slots`), the figure the
+  performance simulator and ROADMAP math assume.
+
+All findings are strings naming schedule/pp/stage/microbatch; the CLI
+surfaces them as ``DYN005``.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.pipeline import (
+    SCHEDULES,
+    iteration_slots,
+    peak_inflight_microbatches,
+    schedule_ops,
+)
+
+__all__ = ["run_schedule_check"]
+
+
+def _check_one(schedule: str, pp: int, m: int, findings: list[str]) -> None:
+    where = f"{schedule} pp={pp} m={m}"
+    ops = {s: schedule_ops(schedule, pp, s, m) for s in range(pp)}
+
+    # -- completeness and per-stage order --------------------------------
+    for s in range(pp):
+        fwd = [op.microbatch for op in ops[s] if op.kind == "F"]
+        bwd = [op.microbatch for op in ops[s] if op.kind == "B"]
+        expected = list(range(m))
+        if sorted(fwd) != expected or sorted(bwd) != expected:
+            findings.append(
+                f"{where} stage {s}: expected one F and one B per "
+                f"microbatch 0..{m - 1}, got F{fwd} B{bwd}"
+            )
+            return  # downstream checks would only cascade
+        if fwd != expected:
+            findings.append(
+                f"{where} stage {s}: forwards out of ascending microbatch "
+                f"order: {fwd}"
+            )
+        if bwd != expected:
+            findings.append(
+                f"{where} stage {s}: backwards out of ascending microbatch "
+                f"order ({bwd}) — gradient accumulation order diverges from "
+                "the serial oracle"
+            )
+        if len(ops[s]) != 2 * m:
+            findings.append(
+                f"{where} stage {s}: {len(ops[s])} ops, expected {2 * m}"
+            )
+
+    # -- dependency simulation (acyclic + complete + makespan) -----------
+    # finish[(kind, stage, mb)] = unit-time slot the op completes in.
+    finish: dict[tuple[str, int, int], int] = {}
+    pc = {s: 0 for s in range(pp)}
+    stage_free = {s: 0 for s in range(pp)}
+
+    def deps(kind: str, s: int, i: int) -> list[tuple[str, int, int]]:
+        if kind == "F":
+            return [("F", s - 1, i)] if s > 0 else []
+        need = [("F", s, i)]
+        if s < pp - 1:
+            need.append(("B", s + 1, i))
+        return need
+
+    progressed = True
+    while progressed:
+        progressed = False
+        for s in range(pp):
+            while pc[s] < len(ops[s]):
+                op = ops[s][pc[s]]
+                need = deps(op.kind, s, op.microbatch)
+                if any(d not in finish for d in need):
+                    break
+                start = max([stage_free[s]] + [finish[d] for d in need])
+                finish[(op.kind, s, op.microbatch)] = start + 1
+                stage_free[s] = start + 1
+                pc[s] += 1
+                progressed = True
+    stuck = {s: ops[s][pc[s]] for s in range(pp) if pc[s] < len(ops[s])}
+    if stuck:
+        desc = "; ".join(
+            f"stage {s} blocked at {op.kind}{op.microbatch} waiting on "
+            + ", ".join(f"{k}{i}@stage{d}" for k, d, i in deps(op.kind, s, op.microbatch)
+                        if (k, d, i) not in finish)
+            for s, op in sorted(stuck.items())
+        )
+        findings.append(
+            f"{where}: schedule deadlocks — the dependency graph is cyclic "
+            f"or incomplete ({desc})"
+        )
+        return
+    makespan = max(finish.values())
+    expected_makespan = 2 * iteration_slots(schedule, m, pp)
+    if makespan != expected_makespan:
+        findings.append(
+            f"{where}: unit-time makespan is {makespan} slots, but "
+            f"iteration_slots promises {expected_makespan} "
+            f"(2 x (m + pp - 1)) — the simulator's bubble math is off"
+        )
+
+    # -- peak in-flight bound (schedule-intrinsic, per stage) ------------
+    for s in range(pp):
+        live = peak = 0
+        for op in ops[s]:
+            live += 1 if op.kind == "F" else -1
+            peak = max(peak, live)
+        promised = peak_inflight_microbatches(schedule, pp, s, m)
+        if peak != promised:
+            findings.append(
+                f"{where} stage {s}: holds {peak} live microbatch graph(s) "
+                f"at peak but peak_inflight_microbatches promises "
+                f"{promised} — the memory bound is wrong"
+            )
+
+
+def run_schedule_check(max_pp: int = 4, max_m: int = 6) -> list[str]:
+    """Verify every ``schedule × pp × m`` combination in the bounded grid.
+
+    Returns one message per finding; empty means every schedule in the
+    grid is complete, deterministic, deadlock-free and honest about its
+    memory bound and makespan.
+    """
+    findings: list[str] = []
+    for schedule in SCHEDULES:
+        for pp in range(1, max_pp + 1):
+            for m in range(1, max_m + 1):
+                _check_one(schedule, pp, m, findings)
+    return findings

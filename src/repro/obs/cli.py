@@ -10,7 +10,7 @@ Usage::
                                   [--schedule 1f1b]
     python -m repro.obs mp-trace --out mp.json [--scheme A2]
                                  [--tp 2] [--pp 2] [--schedule 1f1b]
-                                 [--microbatches 4]
+                                 [--microbatches 4] [--conc-log runs/conc]
 
 ``report`` prints a per-run summary (gauges, phase timers, per-site
 compression fidelity when a sidecar ``*.fidelity.json`` exists) from a
@@ -189,7 +189,16 @@ def cmd_mp_trace(args: argparse.Namespace) -> int:
 
     from repro.parallel import ModelParallelBertClassifier, ModelParallelConfig
     from repro.parallel.backend import create_backend
+    from repro.parallel.backend.conclog import ENV_VAR as CONC_ENV
     from repro.training.finetune import default_accuracy_model
+
+    if args.conc_log:
+        # Workers are spawned with an inherited environment, so setting
+        # the variable here makes every rank write a per-rank event log
+        # into the directory — replayable with
+        # ``python -m repro.lint --race-log <dir>``.
+        os.makedirs(args.conc_log, exist_ok=True)
+        os.environ[CONC_ENV] = args.conc_log
 
     cfg = ModelParallelConfig(
         default_accuracy_model(num_classes=2, seed=0),
@@ -213,6 +222,9 @@ def cmd_mp_trace(args: argparse.Namespace) -> int:
     spans = sum(len(t) for t in result.timelines.values())
     print(f"mp {args.scheme} TP={args.tp} PP={args.pp}: "
           f"{len(result.timelines)} ranks, {spans} spans -> {args.out}")
+    if args.conc_log:
+        print(f"concurrency event logs -> {args.conc_log} "
+              f"(replay: python -m repro.lint --race-log {args.conc_log})")
     return 0
 
 
@@ -256,6 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_mp.add_argument("--seq", type=int, default=16)
     p_mp.add_argument("--schedule", choices=["gpipe", "1f1b"], default="gpipe")
     p_mp.add_argument("--microbatches", type=int, default=1)
+    p_mp.add_argument("--conc-log", metavar="DIR",
+                      help="record per-rank concurrency event logs (DYN003 "
+                           "race-detector input) into DIR")
     p_mp.set_defaults(fn=cmd_mp_trace)
     return parser
 

@@ -19,6 +19,11 @@ from repro.parallel.backend.context import (
     set_rank_context,
     spmd_ranks,
 )
+from repro.parallel.backend.conclog import (
+    ConcurrencyLog,
+    load_events,
+    payload_crc,
+)
 from repro.parallel.backend.transport import (
     DEFAULT_CAPACITY,
     DEFAULT_SLOTS,
@@ -42,6 +47,9 @@ __all__ = [
     "rank_context",
     "set_rank_context",
     "spmd_ranks",
+    "ConcurrencyLog",
+    "load_events",
+    "payload_crc",
     "DEFAULT_CAPACITY",
     "DEFAULT_SLOTS",
     "DEFAULT_TIMEOUT_S",

@@ -34,6 +34,15 @@ Waits poll with a short spin followed by exponential sleep backoff
 (20 µs → 1 ms).  On an oversubscribed host the backoff matters more than
 the spin: a rank stuck polling at a fixed 20 µs steals the CPU from the
 peer it is waiting on.
+
+Verification seams: the blocking ``send``/``recv``/``wait`` entry points
+are thin deadline loops around single-step primitives — ``try_send`` /
+``try_recv`` on the channel, ``arrive`` / ``peers_ready`` on the barrier
+— so the bounded model checker (:mod:`repro.lint.model_check`) can
+execute the *real* protocol code one transition at a time and explore
+every interleaving.  Each commit also reports to the concurrency event
+log (:mod:`repro.parallel.backend.conclog`) when one is installed; the
+default is ``None`` and costs one check per operation.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.parallel.backend import conclog
 from repro.parallel.backend.base import BackendError
 
 __all__ = ["ShmChannel", "ShmBarrier", "RankTransport", "ExchangeHandle",
@@ -150,8 +160,9 @@ class ShmChannel:
             time.sleep(delay)
             delay = min(delay * 2, _POLL_MAX_S)
 
-    # -- public API ------------------------------------------------------
-    def send(self, arr: np.ndarray, timeout: float = DEFAULT_TIMEOUT_S) -> None:
+    # -- single-step primitives -----------------------------------------
+    def _check_sendable(self, arr) -> tuple[np.ndarray, int]:
+        """Validate ``arr`` for the wire; returns (contiguous array, dtype code)."""
         arr = np.asarray(arr)
         if not arr.flags["C_CONTIGUOUS"]:
             # Not ascontiguousarray unconditionally: that would promote 0-d
@@ -172,10 +183,12 @@ class ShmChannel:
                 f"{self.capacity}; raise capacity_bytes",
                 rank=self.src,
             )
+        return arr, code
+
+    def _commit_send(self, arr: np.ndarray, code: int) -> None:
+        """Write the next message into its (EMPTY) slot and publish it."""
         seq = self._send_seq + 1
         slot = (seq - 1) % self.slots
-        self._wait_status(slot, _EMPTY, _now() + timeout,
-                          waiting_on=self.dst, seq=seq)
         if arr.nbytes:
             self._payload[slot][: arr.nbytes] = arr.reshape(-1).view(np.uint8)
         shape = tuple(arr.shape) + (0,) * (_MAX_NDIM - arr.ndim)
@@ -184,14 +197,20 @@ class ShmChannel:
             arr.ndim, 0, arr.nbytes, *shape,
         )
         self._send_seq = seq
+        log = conclog.active()
+        if log is not None:
+            # Stamped *before* the publishing store: the receiver can only
+            # observe (and stamp) the message after the FULL flip, so in a
+            # correct run t(send event) < t(recv event) always holds —
+            # the wall-order invariant the DYN003 replay checks.
+            log.emit("send", src=self.src, dst=self.dst, slot=slot, seq=seq)
         # Status flips to FULL only after payload and header are in place.
         self._status[slot][0] = _FULL
 
-    def recv(self, timeout: float = DEFAULT_TIMEOUT_S) -> np.ndarray:
+    def _commit_recv(self) -> np.ndarray:
+        """Drain the next message from its (FULL) slot and release it."""
         seq = self._recv_seq + 1
         slot = (seq - 1) % self.slots
-        self._wait_status(slot, _FULL, _now() + timeout,
-                          waiting_on=self.src, seq=seq)
         (got_seq, magic, code, ndim, _, nbytes, *shape) = _HEADER_BODY.unpack_from(
             self._buf, slot * self.slot_bytes + 4)
         if magic != _MAGIC:
@@ -210,8 +229,53 @@ class ShmChannel:
         if nbytes:
             out.reshape(-1).view(np.uint8)[:] = self._payload[slot][:nbytes]
         self._recv_seq = seq
+        log = conclog.active()
+        if log is not None:
+            # Stamped before the EMPTY release for the same reason the
+            # send event precedes the FULL flip: the sender's next write
+            # into this slot (the slot-reuse edge) can only be stamped
+            # after it observes EMPTY, i.e. after this timestamp.
+            log.emit("recv", src=self.src, dst=self.dst, slot=slot, seq=seq,
+                     got_seq=got_seq)
         self._status[slot][0] = _EMPTY
         return out
+
+    def try_send(self, arr: np.ndarray) -> bool:
+        """Non-blocking send: commit if the target slot is EMPTY, else False.
+
+        One atomic protocol transition — the verification seam the bounded
+        model checker single-steps.  Validation errors (dtype, capacity)
+        raise exactly like :meth:`send`.
+        """
+        arr, code = self._check_sendable(arr)
+        slot = self._send_seq % self.slots
+        if self._status[slot][0] != _EMPTY:
+            return False
+        self._commit_send(arr, code)
+        return True
+
+    def try_recv(self) -> np.ndarray | None:
+        """Non-blocking receive: drain if the next slot is FULL, else None."""
+        slot = self._recv_seq % self.slots
+        if self._status[slot][0] != _FULL:
+            return None
+        return self._commit_recv()
+
+    # -- public API ------------------------------------------------------
+    def send(self, arr: np.ndarray, timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        arr, code = self._check_sendable(arr)
+        seq = self._send_seq + 1
+        slot = (seq - 1) % self.slots
+        self._wait_status(slot, _EMPTY, _now() + timeout,
+                          waiting_on=self.dst, seq=seq)
+        self._commit_send(arr, code)
+
+    def recv(self, timeout: float = DEFAULT_TIMEOUT_S) -> np.ndarray:
+        seq = self._recv_seq + 1
+        slot = (seq - 1) % self.slots
+        self._wait_status(slot, _FULL, _now() + timeout,
+                          waiting_on=self.src, seq=seq)
+        return self._commit_recv()
 
 
 class ShmBarrier:
@@ -230,22 +294,52 @@ class ShmBarrier:
         self.rank = rank
         self._generation = 0
 
-    def wait(self, timeout: float = DEFAULT_TIMEOUT_S) -> int:
+    # -- single-step primitives -----------------------------------------
+    def arrive(self) -> int:
+        """Publish this rank's arrival at the next generation."""
         self._generation += 1
+        log = conclog.active()
+        if log is not None:
+            # Before the publishing store (see ShmChannel._commit_send):
+            # a peer can only depart — and stamp its departure — after it
+            # observes this slot, so arrivals always timestamp first.
+            log.emit("barrier_arrive", gen=self._generation)
         struct.pack_into("<I", self._buf, 4 * self.rank, self._generation)
-        deadline = _now() + timeout
-        for peer in range(self.world):
-            delay = _POLL_MIN_S
-            while struct.unpack_from("<I", self._buf, 4 * peer)[0] < self._generation:
-                if _now() > deadline:
-                    raise BackendError(
-                        f"barrier generation {self._generation} timed out waiting "
-                        f"for rank {peer}",
-                        rank=peer,
-                    )
-                time.sleep(delay)
-                delay = min(delay * 2, _POLL_MAX_S)
         return self._generation
+
+    def peers_ready(self, generation: int) -> int | None:
+        """First peer still behind ``generation``, or None when all caught up.
+
+        Non-blocking: one scan of the generation slots.  The blocking
+        :meth:`wait` and the model checker's virtual scheduler both drive
+        departure decisions through this single predicate, so a mutation
+        here is visible to the exhaustive interleaving search.
+        """
+        for peer in range(self.world):
+            if struct.unpack_from("<I", self._buf, 4 * peer)[0] < generation:
+                return peer
+        return None
+
+    def wait(self, timeout: float = DEFAULT_TIMEOUT_S) -> int:
+        generation = self.arrive()
+        deadline = _now() + timeout
+        delay = _POLL_MIN_S
+        while True:
+            straggler = self.peers_ready(generation)
+            if straggler is None:
+                break
+            if _now() > deadline:
+                raise BackendError(
+                    f"barrier generation {generation} timed out waiting "
+                    f"for rank {straggler}",
+                    rank=straggler,
+                )
+            time.sleep(delay)
+            delay = min(delay * 2, _POLL_MAX_S)
+        log = conclog.active()
+        if log is not None:
+            log.emit("barrier_depart", gen=generation)
+        return generation
 
 
 class ExchangeHandle:
@@ -256,15 +350,23 @@ class ExchangeHandle:
     in-flight window is recorded on the transport timeline as an async
     span (``mp.async``) so it shows up as a ``b``/``e`` pair in the
     Chrome trace.
+
+    ``wait`` is idempotent — a second call returns the cached gather.  An
+    *uncompleted* handle whose transport has been closed (backend
+    shutdown, gang teardown after a peer failure) raises a typed
+    :class:`BackendError` instead of dying on an internal ``KeyError``
+    against the torn-down channel map.
     """
 
     def __init__(self, transport: "RankTransport", peers: list[int],
-                 arr: np.ndarray, label: str, issued_at: float):
+                 arr: np.ndarray, label: str, issued_at: float,
+                 conc_id: int | None = None):
         self._transport = transport
         self._peers = peers
         self._arr = arr
         self._label = label
         self._issued_at = issued_at
+        self._conc_id = conc_id
         self._result: dict[int, np.ndarray] | None = None
 
     @property
@@ -272,16 +374,29 @@ class ExchangeHandle:
         return self._result is not None
 
     def wait(self, timeout: float = DEFAULT_TIMEOUT_S) -> dict[int, np.ndarray]:
+        log = conclog.active()
         if self._result is None:
             t = self._transport
+            if t.closed:
+                raise BackendError(
+                    f"cannot wait on in-flight {self._label!r}: transport is "
+                    "closed (backend shut down before the exchange completed)",
+                    rank=t.rank,
+                )
             start = _now()
             out = {t.rank: self._arr}
             for peer in self._peers:
                 if peer != t.rank:
-                    out[peer] = t._channels[(peer, t.rank)].recv(timeout)
+                    out[peer] = t._channels[(peer, t.rank)].recv(timeout=timeout)
             self._result = out
             t._record_wait(f"{self._label} wait", start)
             t._record_wait(self._label, self._issued_at, cat="mp.async")
+            if log is not None and self._conc_id is not None:
+                log.emit("handle_wait", hid=self._conc_id, htype="exchange",
+                         crc=conclog.payload_crc(self._arr), dup=False)
+        elif log is not None and self._conc_id is not None:
+            log.emit("handle_wait", hid=self._conc_id, htype="exchange",
+                     crc=conclog.payload_crc(self._arr), dup=True)
         return self._result
 
 
@@ -371,12 +486,12 @@ class RankTransport:
 
     def send(self, dst: int, arr: np.ndarray, timeout: float = DEFAULT_TIMEOUT_S) -> None:
         start = _now()
-        self._channels[(self.rank, dst)].send(arr, timeout)
+        self._channels[(self.rank, dst)].send(arr, timeout=timeout)
         self._record_wait(f"send->r{dst}", start)
 
     def recv(self, src: int, timeout: float = DEFAULT_TIMEOUT_S) -> np.ndarray:
         start = _now()
-        out = self._channels[(src, self.rank)].recv(timeout)
+        out = self._channels[(src, self.rank)].recv(timeout=timeout)
         self._record_wait(f"recv<-r{src}", start)
         return out
 
@@ -393,9 +508,17 @@ class RankTransport:
         issued_at = _now()
         for peer in peers:
             if peer != self.rank:
-                self._channels[(self.rank, peer)].send(arr, timeout)
+                self._channels[(self.rank, peer)].send(arr, timeout=timeout)
+        log = conclog.active()
+        conc_id = None
+        if log is not None:
+            conc_id = log.next_handle_id()
+            log.emit("handle_issue", hid=conc_id, htype="exchange",
+                     label=label or f"exchange x{len(peers)}",
+                     crc=conclog.payload_crc(arr))
         return ExchangeHandle(self, list(peers), arr,
-                              label or f"exchange x{len(peers)}", issued_at)
+                              label or f"exchange x{len(peers)}", issued_at,
+                              conc_id=conc_id)
 
     def exchange(self, peers: list[int], arr: np.ndarray,
                  timeout: float = DEFAULT_TIMEOUT_S) -> dict[int, np.ndarray]:
@@ -404,13 +527,18 @@ class RankTransport:
         Returns ``{rank: array}`` including our own contribution — the
         caller reduces in deterministic rank order.
         """
-        return self.exchange_issue(peers, arr, timeout).wait(timeout)
+        return self.exchange_issue(peers, arr, timeout=timeout).wait(timeout)
 
     def barrier_wait(self, timeout: float = DEFAULT_TIMEOUT_S) -> int:
         start = _now()
-        gen = self.barrier.wait(timeout)
+        gen = self.barrier.wait(timeout=timeout)
         self._record_wait("barrier", start)
         return gen
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has detached this transport from its segment."""
+        return self._shm is None
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -27,6 +27,7 @@ import numpy as np
 
 import re
 
+from repro.parallel.backend import conclog
 from repro.parallel.backend.context import RankContext, set_rank_context
 from repro.parallel.backend.transport import RankTransport
 from repro.tensor import Tensor
@@ -111,7 +112,7 @@ def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
 
     model.zero_grad()
     model.tracker.reset()
-    transport.barrier_wait(ctx.timeout)
+    transport.barrier_wait(timeout=ctx.timeout)
 
     microbatches = split_microbatches(input_ids, labels, attention_mask, m)
     seed = None if m == 1 else loss_grad_seed(m)
@@ -129,7 +130,8 @@ def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
             if stage == 0:
                 x, mask4d = backbone.embed(mb_ids, mb_mask)
             else:
-                x_data = transport.recv(ctx.peer(stage - 1), ctx.timeout)
+                x_data = transport.recv(ctx.peer(stage - 1),
+                                        timeout=ctx.timeout)
                 leaf = Tensor(x_data, requires_grad=True)
                 x_in[i] = leaf
                 x = leaf
@@ -146,7 +148,7 @@ def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
             _span(timeline, origin, "forward" if m == 1 else f"F{i}", t0)
         else:
             if stage < pp - 1:
-                g = transport.recv(ctx.peer(stage + 1), ctx.timeout)
+                g = transport.recv(ctx.peer(stage + 1), timeout=ctx.timeout)
                 outs.pop(i).backward(g)
             else:
                 loss_t = losses.pop(i)
@@ -166,7 +168,8 @@ def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
                 # flight while this stage continues with its next op.
                 t_send = time.monotonic()
                 transport.send(ctx.peer(stage - 1),
-                               np.ascontiguousarray(leaf.grad), ctx.timeout)
+                               np.ascontiguousarray(leaf.grad),
+                               timeout=ctx.timeout)
                 transport.record_span(f"pp grad send mb{i}", t_send,
                                       cat="mp.async")
             _span(timeline, origin, "backward" if m == 1 else f"B{i}", t0)
@@ -197,6 +200,10 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
     _disable_shm_tracking()
     rank = rank_info["stage"] * rank_info["tp"] + rank_info["tp_rank"]
     transport = None
+    # Concurrency event log (DYN003): purely env-gated, off in production.
+    conc = conclog.maybe_install_from_env(
+        rank, world=rank_info["tp"] * rank_info["pp"])
+    steps_done = 0
     try:
         transport = RankTransport(spec, rank)
         model = model_spec["cls"](model_spec["config"], **model_spec["kwargs"])
@@ -221,6 +228,12 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
                 _, input_ids, labels, attention_mask, collect = msg
                 result = _spmd_step(model, ctx, input_ids, labels,
                                     attention_mask, collect)
+                if conc is not None:
+                    # Flush after every step so a crashed run still leaves
+                    # a replayable event-log prefix on disk.
+                    conc.emit("step_end", step=steps_done)
+                    conc.flush()
+                steps_done += 1
                 conn.send(("result", rank, *result))
             else:
                 raise RuntimeError(f"unknown command {cmd!r}")
@@ -233,6 +246,9 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
             pass
     finally:
         set_rank_context(None)
+        if conc is not None:
+            conc.flush()
+            conclog.uninstall()
         if transport is not None:
             transport.close()
         conn.close()

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.compression.base import BYTES_FP16, Compressor
 from repro.compression.autoencoder import AutoencoderCompressor
+from repro.parallel.backend import conclog as _conclog
 from repro.parallel.backend.context import rank_context
 from repro.tensor import Tensor
 
@@ -163,14 +164,28 @@ class CommHandle:
     result and ``wait`` just hands it back.  SPMD handles hold an
     in-flight shm exchange: the sends were staged at issue time, peer
     contributions are collected (and the site's :class:`CommEvent`
-    recorded) at wait time.  ``wait`` is idempotent.
+    recorded) at wait time.
+
+    ``wait`` is idempotent: a second call returns the same Tensor.  A
+    handle whose completion *failed* (transport timeout, peer death,
+    backend shutdown) stays failed: every subsequent ``wait`` re-raises a
+    typed error naming the original failure, rather than silently handing
+    back ``None`` as the collective's result — an issued-but-broken
+    all-reduce must never read as a zero-gradient success.
     """
 
-    __slots__ = ("_finish", "_result")
+    __slots__ = ("_finish", "_result", "_error", "_cid")
 
     def __init__(self, finish):
         self._finish = finish
         self._result: Tensor | None = None
+        self._error: BaseException | None = None
+        self._cid: int | None = None
+        if finish is not None:
+            log = _conclog.active()
+            if log is not None:
+                self._cid = log.next_handle_id()
+                log.emit("handle_issue", hid=self._cid, htype="comm")
 
     @classmethod
     def ready(cls, value: Tensor) -> "CommHandle":
@@ -181,12 +196,34 @@ class CommHandle:
 
     @property
     def done(self) -> bool:
-        return self._finish is None
+        return self._finish is None and self._error is None
 
     def wait(self) -> Tensor:
+        if self._error is not None:
+            from repro.parallel.backend.base import BackendError
+
+            raise BackendError(
+                f"wait() on a handle that already failed: {self._error}"
+            ) from self._error
         if self._finish is not None:
-            finish, self._finish = self._finish, None
-            self._result = finish()
+            finish = self._finish
+            try:
+                result = finish()
+            except BaseException as exc:
+                self._error = exc
+                self._finish = None
+                raise
+            self._finish = None
+            self._result = result
+            if self._cid is not None:
+                log = _conclog.active()
+                if log is not None:
+                    log.emit("handle_wait", hid=self._cid, htype="comm",
+                             dup=False)
+        elif self._cid is not None:
+            log = _conclog.active()
+            if log is not None:
+                log.emit("handle_wait", hid=self._cid, htype="comm", dup=True)
         return self._result
 
 
@@ -214,7 +251,7 @@ def tp_broadcast(x: Tensor, world: int, tracker: CommTracker, *, layer: int | No
         # oracle's autograd accumulation bitwise.
         def backward(g):
             wire = ctx.transport.exchange_issue(
-                ctx.tp_peers(), np.ascontiguousarray(g), ctx.timeout,
+                ctx.tp_peers(), np.ascontiguousarray(g), timeout=ctx.timeout,
                 label=_async_label("bwd allreduce", site, layer),
             )
             gathered = wire.wait(ctx.timeout)
@@ -418,7 +455,7 @@ def _tp_all_reduce_spmd_issue(
 
     if _is_identity(compressor):
         wire = ctx.transport.exchange_issue(
-            peers, own.data, ctx.timeout,
+            peers, own.data, timeout=ctx.timeout,
             label=_async_label("allreduce", site, layer))
 
         def finish() -> Tensor:
@@ -458,7 +495,7 @@ def _tp_all_reduce_spmd_issue(
         # logged wire bytes are still the code size — what a real fused
         # encode/all-reduce/decode would move.
         wire = ctx.transport.exchange_issue(
-            peers, own.data, ctx.timeout,
+            peers, own.data, timeout=ctx.timeout,
             label=_async_label("allreduce", site, layer))
         # The own-partial encode needs no peer data: run it at issue time,
         # overlapping the in-flight exchange.  encode() is deterministic
@@ -495,7 +532,7 @@ def _tp_all_reduce_spmd_issue(
     rank_site = _rank_site(site, layer, ctx.tp_rank)
     rec = compressor.apply(own, site=rank_site)
     wire = ctx.transport.exchange_issue(
-        peers, rec.data, ctx.timeout,
+        peers, rec.data, timeout=ctx.timeout,
         label=_async_label("allgather", site, layer))
 
     def finish() -> Tensor:
@@ -599,7 +636,8 @@ def pipeline_transfer_issue(
             enabled=ctx.records,
         )
         issued_at = time.monotonic()
-        ctx.transport.send(ctx.peer(ctx.stage + 1), out.data, ctx.timeout)
+        ctx.transport.send(ctx.peer(ctx.stage + 1), out.data,
+                           timeout=ctx.timeout)
         ctx.transport.record_span(
             _async_label("pp send", f"boundary{boundary}", None),
             issued_at, cat="mp.async",

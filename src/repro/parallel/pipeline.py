@@ -102,10 +102,22 @@ def gpipe_iteration_slots(num_microbatches: int, pp: int) -> int:
 
 @dataclass(frozen=True)
 class ScheduleOp:
-    """One unit of per-stage pipeline work: a forward or backward pass."""
+    """One unit of per-stage pipeline work: a forward or backward pass.
+
+    Workers execute these verbatim, so a malformed op is a distributed
+    bug waiting on a peer that will never answer — validated at
+    construction (and re-verified wholesale by the DYN005 schedule
+    checker in :mod:`repro.lint.schedule_check`).
+    """
 
     kind: str  # "F" | "B"
     microbatch: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("F", "B"):
+            raise ValueError(f"ScheduleOp kind must be 'F' or 'B', got {self.kind!r}")
+        if self.microbatch < 0:
+            raise ValueError(f"ScheduleOp microbatch must be >= 0, got {self.microbatch}")
 
 
 def _check_schedule(schedule: str) -> None:

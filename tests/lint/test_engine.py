@@ -94,7 +94,8 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rid in ("REPRO001", "REPRO002", "REPRO003", "REPRO004", "REPRO005",
-                "REPRO006", "REPRO007", "DYN001", "DYN002"):
+                "REPRO006", "REPRO007", "REPRO008", "REPRO009", "REPRO010",
+                "DYN001", "DYN002", "DYN003", "DYN004", "DYN005"):
         assert rid in out
 
 
@@ -106,3 +107,31 @@ def test_cli_parse_error_exit_code(tmp_path):
     broken = tmp_path / "broken.py"
     broken.write_text("def broken(:\n")
     assert main([str(broken)]) == 2
+
+
+def test_suppression_covers_multiline_statement():
+    # The finding anchors on the continuation line (the default's own
+    # line); the disable comment sits on the statement's first line.
+    src = ("def f(a,  # lint: disable=REPRO005\n"
+           "      b=[]):\n"
+           "    return b\n")
+    bare = src.replace("  # lint: disable=REPRO005", "")
+    (finding,) = lint_source(bare, rule_ids=["REPRO005"])
+    assert finding.line == 2  # really anchored inside the statement
+    assert lint_source(src, rule_ids=["REPRO005"]) == []
+
+
+def test_suppression_on_continuation_line_still_works():
+    src = ("def f(a,\n"
+           "      b=[]):  # lint: disable=mutable-default\n"
+           "    return b\n")
+    assert lint_source(src, rule_ids=["REPRO005"]) == []
+
+
+def test_header_suppression_does_not_leak_into_body():
+    # The innermost covering statement wins: the body statement anchors
+    # to itself, not to the suppressed def header.
+    src = ("def f():  # lint: disable=all\n"
+           "    eval('1')\n")
+    (finding,) = lint_source(src, rule_ids=["REPRO007"])
+    assert finding.line == 2

@@ -1,0 +1,80 @@
+"""DYN005: the static pipeline-schedule verifier.
+
+Clean grid first, then targeted mutations of ``schedule_ops`` /
+``peak_inflight_microbatches`` / ``iteration_slots`` — each must surface
+as a finding naming the schedule, stage and microbatch involved.
+"""
+
+import pytest
+
+from repro.lint import schedule_check
+from repro.lint.schedule_check import run_schedule_check
+from repro.parallel.pipeline import ScheduleOp
+
+
+def test_full_grid_is_clean():
+    assert run_schedule_check() == []
+
+
+def test_dropped_backward_is_incomplete(monkeypatch):
+    real = schedule_check.schedule_ops
+
+    def dropped(schedule, pp, stage, m):
+        ops = real(schedule, pp, stage, m)
+        if schedule == "1f1b" and stage == 0:
+            return [op for op in ops
+                    if not (op.kind == "B" and op.microbatch == m - 1)]
+        return ops
+
+    monkeypatch.setattr(schedule_check, "schedule_ops", dropped)
+    findings = run_schedule_check()
+    assert any("1f1b" in f and "stage 0" in f
+               and "expected one F and one B" in f for f in findings)
+
+
+def test_backward_before_its_forward_deadlocks(monkeypatch):
+    real = schedule_check.schedule_ops
+
+    def swapped(schedule, pp, stage, m):
+        ops = real(schedule, pp, stage, m)
+        if schedule == "1f1b" and pp == 2 and stage == 0 and m >= 2:
+            # Move the first backward ahead of every forward: B(0) now
+            # waits on F(0) which its own stage will never reach.
+            bwd = next(op for op in ops if op.kind == "B")
+            rest = [op for op in ops if op is not bwd]
+            return [bwd] + rest
+        return ops
+
+    monkeypatch.setattr(schedule_check, "schedule_ops", swapped)
+    findings = run_schedule_check()
+    assert any("deadlock" in f for f in findings)
+    assert any("blocked at B0" in f for f in findings)
+
+
+def test_dishonest_peak_inflight_promise(monkeypatch):
+    real = schedule_check.peak_inflight_microbatches
+    monkeypatch.setattr(schedule_check, "peak_inflight_microbatches",
+                        lambda schedule, pp, stage, m: real(schedule, pp, stage, m) + 1)
+    findings = run_schedule_check()
+    assert any("memory bound is wrong" in f for f in findings)
+
+
+def test_dishonest_makespan_promise(monkeypatch):
+    monkeypatch.setattr(schedule_check, "iteration_slots",
+                        lambda schedule, m, pp: m + pp)
+    findings = run_schedule_check()
+    assert any("bubble math is off" in f for f in findings)
+
+
+class TestScheduleOpValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleOp("X", 0)
+
+    def test_negative_microbatch_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleOp("F", -1)
+
+    def test_valid_ops_construct(self):
+        assert ScheduleOp("F", 0).kind == "F"
+        assert ScheduleOp("B", 3).microbatch == 3

@@ -1,0 +1,84 @@
+"""Handle lifecycle contracts: idempotent wait, sticky failure, shutdown.
+
+These are the regression tests for the CommHandle/ExchangeHandle wait
+semantics: a second ``wait`` returns the cached result without touching
+the wire, a failed completion stays failed with a typed error, and a
+handle orphaned by transport shutdown raises instead of dying on the
+torn-down channel map.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel.backend import BackendError, RankTransport
+from repro.parallel.collectives import CommHandle
+
+
+class TestCommHandle:
+    def test_wait_completes_and_is_idempotent(self):
+        calls = []
+        sentinel = object()
+
+        def finish():
+            calls.append(1)
+            return sentinel
+
+        handle = CommHandle(finish)
+        assert not handle.done
+        assert handle.wait() is sentinel
+        assert handle.done
+        assert handle.wait() is sentinel  # cached, not re-received
+        assert len(calls) == 1
+
+    def test_ready_handle_is_born_complete(self):
+        sentinel = object()
+        handle = CommHandle.ready(sentinel)
+        assert handle.done
+        assert handle.wait() is sentinel
+        assert handle.wait() is sentinel
+
+    def test_failed_wait_stays_failed_with_typed_error(self):
+        def finish():
+            raise BackendError("peer 3 died mid-exchange", rank=3)
+
+        handle = CommHandle(finish)
+        with pytest.raises(BackendError, match="peer 3 died"):
+            handle.wait()
+        assert not handle.done
+        # Every later wait re-raises a *typed* error naming the original
+        # failure — never a silent None result for the collective.
+        with pytest.raises(BackendError, match="already failed") as exc:
+            handle.wait()
+        assert "peer 3 died" in str(exc.value)
+        assert isinstance(exc.value.__cause__, BackendError)
+
+    def test_failure_is_raised_once_per_wait_not_swallowed(self):
+        calls = []
+
+        def finish():
+            calls.append(1)
+            raise RuntimeError("boom")
+
+        handle = CommHandle(finish)
+        with pytest.raises(RuntimeError):
+            handle.wait()
+        with pytest.raises(BackendError):
+            handle.wait()
+        assert len(calls) == 1  # the broken finish is never retried
+
+
+class TestExchangeHandleShutdown:
+    def test_wait_after_transport_close_raises_typed_error(self):
+        creator = RankTransport.create(world=2)
+        try:
+            peer = RankTransport(creator.spec, 0)
+            handle = peer.exchange_issue(
+                [0, 1], np.ones(4, dtype=np.float32), timeout=1.0,
+                label="orphaned exchange")
+            assert not handle.done
+            peer.close()
+            with pytest.raises(BackendError, match="transport is closed") as exc:
+                handle.wait(timeout=0.1)
+            assert "orphaned exchange" in str(exc.value)
+        finally:
+            creator.close()

@@ -1,0 +1,117 @@
+"""The concurrency event log side channel (DYN003's data source)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.parallel.backend import conclog
+from repro.parallel.backend.conclog import (
+    ConcurrencyLog,
+    load_events,
+    maybe_install_from_env,
+    payload_crc,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_global_log():
+    yield
+    conclog.uninstall()
+
+
+class TestConcurrencyLog:
+    def test_events_get_dense_indices_and_meta_header(self):
+        log = ConcurrencyLog(rank=2, world=4)
+        log.emit("send", src=2, dst=3, slot=0, seq=1)
+        log.emit("recv", src=3, dst=2, slot=0, seq=1, got_seq=1)
+        assert [e["idx"] for e in log.events] == [0, 1, 2]
+        assert log.events[0]["kind"] == "meta"
+        assert log.events[0]["world"] == 4
+        assert all(e["rank"] == 2 for e in log.events)
+
+    def test_timestamps_are_monotone_within_a_rank(self):
+        log = ConcurrencyLog(rank=0, world=1)
+        for _ in range(10):
+            log.emit("step_end", step=0)
+        ts = [e["t"] for e in log.events]
+        assert ts == sorted(ts)
+
+    def test_handle_ids_are_unique_and_increasing(self):
+        log = ConcurrencyLog(rank=0, world=1)
+        hids = [log.next_handle_id() for _ in range(5)]
+        assert hids == sorted(set(hids))
+
+    def test_flush_appends_incrementally(self, tmp_path):
+        path = tmp_path / "conc-rank0.jsonl"
+        log = ConcurrencyLog(rank=0, world=2, path=path)
+        log.flush()
+        first = path.read_text().splitlines()
+        log.emit("step_end", step=0)
+        log.flush()
+        log.flush()  # no duplicates on a redundant flush
+        lines = path.read_text().splitlines()
+        assert len(first) == 1 and len(lines) == 2
+        assert json.loads(lines[1])["kind"] == "step_end"
+
+    def test_flush_without_path_is_a_noop(self):
+        ConcurrencyLog(rank=0, world=1).flush()
+
+
+class TestInstall:
+    def test_active_is_none_by_default(self):
+        assert conclog.active() is None
+
+    def test_env_gate_off_installs_nothing(self, monkeypatch):
+        monkeypatch.delenv(conclog.ENV_VAR, raising=False)
+        assert maybe_install_from_env(0, world=2) is None
+        assert conclog.active() is None
+
+    def test_env_gate_on_installs_per_rank_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(conclog.ENV_VAR, str(tmp_path / "logs"))
+        log = maybe_install_from_env(3, world=4)
+        assert conclog.active() is log
+        log.flush()
+        assert (tmp_path / "logs" / "conc-rank3.jsonl").exists()
+
+
+class TestPayloadCrc:
+    def test_equal_content_equal_crc(self):
+        a = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert payload_crc(a) == payload_crc(a.copy())
+
+    def test_mutation_changes_crc(self):
+        a = np.arange(12, dtype=np.float32)
+        before = payload_crc(a)
+        a[5] += 1.0
+        assert payload_crc(a) != before
+
+    def test_zero_dim_and_noncontiguous_arrays(self):
+        assert payload_crc(np.float32(3.5)) == payload_crc(np.full((), 3.5, np.float32))
+        mat = np.arange(16, dtype=np.float32).reshape(4, 4)
+        assert payload_crc(mat.T) == payload_crc(np.ascontiguousarray(mat.T))
+
+
+class TestLoadEvents:
+    def test_directory_concatenates_all_ranks(self, tmp_path):
+        for rank in (0, 1):
+            log = ConcurrencyLog(rank=rank, world=2,
+                                 path=tmp_path / f"conc-rank{rank}.jsonl")
+            log.emit("step_end", step=0)
+            log.flush()
+        events = load_events(tmp_path)
+        assert {e["rank"] for e in events} == {0, 1}
+        assert len(events) == 4  # meta + step_end per rank
+
+    def test_single_file_load(self, tmp_path):
+        log = ConcurrencyLog(rank=0, world=1, path=tmp_path / "conc-rank0.jsonl")
+        log.flush()
+        assert len(load_events(tmp_path / "conc-rank0.jsonl")) == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_events(tmp_path / "nope")
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_events(tmp_path)

@@ -182,6 +182,55 @@ class TestShmChannel:
             tx.send(np.zeros(1, dtype=np.float32), timeout=0.05)
 
 
+class TestSingleStepSeams:
+    """try_send / try_recv / arrive / peers_ready — the verification seams
+    the DYN004 model checker single-steps."""
+
+    def test_try_recv_on_empty_ring_returns_none(self):
+        _, rx = make_pair(slots=2)
+        assert rx.try_recv() is None
+
+    def test_try_send_refuses_exactly_at_ring_depth(self):
+        for slots in (1, 2, 4):
+            tx, rx = make_pair(slots=slots)
+            for i in range(slots):
+                assert tx.try_send(np.full((1,), i, dtype=np.int32))
+            assert not tx.try_send(np.zeros(1, dtype=np.int32))
+            assert tx._send_seq == slots  # the refusal mutated nothing
+            assert rx.try_recv()[0] == 0
+            assert tx.try_send(np.full((1,), slots, dtype=np.int32))
+
+    def test_wraparound_soak_over_twice_the_ring_depth(self):
+        """Satellite contract: >= 2x slots messages through try_send/try_recv,
+        FIFO payload order preserved across every slot-reuse boundary."""
+        for slots in (1, 2, 4):
+            tx, rx = make_pair(slots=slots)
+            n = 2 * slots + 3
+            sent = received = 0
+            while received < n:
+                if sent < n and tx.try_send(np.full((1,), sent, dtype=np.int64)):
+                    sent += 1
+                out = rx.try_recv()
+                if out is not None:
+                    assert out[0] == received
+                    received += 1
+            assert tx._send_seq == rx._recv_seq == n
+            assert rx.try_recv() is None
+
+    def test_tampered_seq_field_raises_naming_slot_and_seq(self):
+        """Satellite contract: inject a seq mismatch into the slot header;
+        the receiver must reject it with slot and seq in the message."""
+        import struct
+
+        tx, rx = make_pair(slots=2)
+        tx.send(np.zeros(1, dtype=np.float32))
+        struct.pack_into("<I", tx._buf, 4, 99)  # slot 0 header seq field
+        with pytest.raises(BackendError, match="out-of-order") as exc:
+            rx.try_recv()
+        msg = str(exc.value)
+        assert "slot 0" in msg and "seq 99" in msg and "expected 1" in msg
+
+
 class TestShmBarrier:
     def test_single_rank_world_advances_generations(self):
         buf = bytearray(4)
@@ -196,6 +245,33 @@ class TestShmBarrier:
             barrier.wait(timeout=0.05)
         assert exc.value.rank == 1
         assert "generation 1" in str(exc.value)
+
+    def test_generation_reuse_is_not_satisfied_by_stale_slots(self):
+        """Satellite contract: the same slots host generation after
+        generation; a slot still holding gen N must read as a straggler
+        for gen N+1, never as an arrival."""
+        buf = bytearray(8)
+        b0 = ShmBarrier(buf, world=2, rank=0)
+        b1 = ShmBarrier(buf, world=2, rank=1)
+        for gen in (1, 2, 3):
+            assert b0.arrive() == gen
+            assert b0.peers_ready(gen) == 1  # rank 1 still at gen - 1
+            assert b1.arrive() == gen
+            assert b0.peers_ready(gen) is None
+            assert b1.peers_ready(gen) is None
+
+    def test_wait_interleaves_with_peer_arrivals(self):
+        buf = bytearray(8)
+        b0 = ShmBarrier(buf, world=2, rank=0)
+        b1 = ShmBarrier(buf, world=2, rank=1)
+        b1.arrive()
+        assert b0.wait(timeout=1.0) == 1  # peer already published gen 1
+        b1.arrive()
+        assert b0.wait(timeout=1.0) == 2
+
+    def test_buffer_too_small_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="too small"):
+            ShmBarrier(bytearray(4), world=2, rank=0)
 
 
 class TestRankTransport:
