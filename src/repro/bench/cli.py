@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.bench run [--quick] [--out DIR] [--no-trace]
+                              [--suite default|degraded]
     python -m repro.bench compare [CANDIDATE] [--baseline PATH]
                                   [--wall-tol 1.75] [--all]
     python -m repro.bench report [CANDIDATE] [--format md|csv] [--out PATH]
@@ -66,14 +67,18 @@ def _load_validated(path: str) -> dict | None:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    from repro.bench.suite import degraded_suite
+
     def progress(case, result):
         wall = result["wall_ms"]
         print(f"  {case.id}: median {wall['median']:.2f} ms "
               f"(IQR {wall['iqr']:.2f}, n={wall['rounds']})")
 
+    suite = degraded_suite() if args.suite == "degraded" else None
     doc, bench_path, trace_path = run_suite(
-        quick=args.quick, out_dir=args.out,
-        write_trace_artifact=not args.no_trace, progress=progress,
+        quick=args.quick, suite=suite, out_dir=args.out,
+        write_trace_artifact=not args.no_trace and args.suite == "default",
+        progress=progress, suite_name=args.suite,
     )
     print(f"wrote {bench_path} ({len(doc['cases'])} cases, "
           f"sha {doc['git_sha']}, quick={doc['quick']})")
@@ -93,8 +98,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
     if candidate is None or baseline is None:
         return 2
 
-    result = compare_docs(candidate, baseline, wall_tol=args.wall_tol,
-                          wall_floor_ms=args.wall_floor)
+    try:
+        result = compare_docs(candidate, baseline, wall_tol=args.wall_tol,
+                              wall_floor_ms=args.wall_floor)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     rows = result.as_rows()
     if not args.all:
         rows = [r for r in rows if not r["status"].startswith("ok")]
@@ -144,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", default=".", help="output directory")
     p_run.add_argument("--no-trace", action="store_true",
                        help="skip the merged Chrome-trace artifact")
+    p_run.add_argument("--suite", choices=("default", "degraded"),
+                       default="default",
+                       help="degraded = the fault-injected chaos matrix "
+                            "(never gated against the healthy baseline)")
     p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="gate a run against the baseline")

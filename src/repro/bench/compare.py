@@ -95,9 +95,22 @@ def compare_docs(
     wall_tol: float = DEFAULT_WALL_TOL,
     wall_floor_ms: float = DEFAULT_WALL_FLOOR_MS,
 ) -> CompareResult:
-    """Compare two validated bench documents case by case."""
+    """Compare two validated bench documents case by case.
+
+    Both documents must come from the *same* suite: gating a degraded
+    (fault-injected) run against the healthy baseline would either flag
+    recovery cost as a regression or, worse, accept it as the new
+    normal.
+    """
     if wall_tol <= 1.0:
         raise ValueError(f"wall_tol must be > 1, got {wall_tol}")
+    cand_suite = candidate.get("suite", "default")
+    base_suite = baseline.get("suite", "default")
+    if cand_suite != base_suite:
+        raise ValueError(
+            f"refusing to compare suite {cand_suite!r} against suite "
+            f"{base_suite!r}: degraded (faulted) runs must only be gated "
+            "against other degraded runs")
     result = CompareResult()
     cand_cases = {c["id"]: c for c in candidate["cases"]}
     base_cases = {c["id"]: c for c in baseline["cases"]}

@@ -29,9 +29,9 @@ __all__ = ["run_suite", "git_sha", "bench_filename"]
 #: one scheduler hiccup where a median of 2 (= the mean) cannot.
 _REPEATS = {
     True: {"mp_step": (1, 3), "finetune": (0, 3), "sim": (1, 3),
-           "backend_step": (1, 3)},
+           "backend_step": (1, 3), "degraded": (0, 3)},
     False: {"mp_step": (2, 5), "finetune": (1, 5), "sim": (2, 5),
-            "backend_step": (1, 5)},
+            "backend_step": (1, 5), "degraded": (0, 5)},
 }
 
 
@@ -212,8 +212,33 @@ def _run_sim(case: BenchCase, warmup: int, rounds: int) -> dict:
     return {"wall_ms": timing.as_dict(), "deterministic": deterministic}
 
 
+def _run_degraded(case: BenchCase, warmup: int, rounds: int) -> dict:
+    """A backend step with the case's fault plan armed in every worker.
+
+    ``REPRO_FAULT_PLAN`` must be set *before* backend construction — the
+    workers read it once at spawn — and is restored afterwards so the
+    rest of the suite stays healthy.  Zero warmup is deliberate: the
+    planned faults fire on the earliest steps, which are exactly the
+    ones a degraded median should include.  The deterministic metrics
+    (comm events/bytes in the parent) are unaffected by worker-side
+    retries, so they still pin the workload's identity.
+    """
+    from repro.parallel.backend import faults
+
+    prev = os.environ.get(faults.ENV_VAR)
+    os.environ[faults.ENV_VAR] = case.fault_plan
+    try:
+        return _run_backend_step(case, warmup, rounds)
+    finally:
+        if prev is None:
+            os.environ.pop(faults.ENV_VAR, None)
+        else:
+            os.environ[faults.ENV_VAR] = prev
+
+
 _RUNNERS = {"mp_step": _run_mp_step, "finetune": _run_finetune,
-            "sim": _run_sim, "backend_step": _run_backend_step}
+            "sim": _run_sim, "backend_step": _run_backend_step,
+            "degraded": _run_degraded}
 
 #: Case whose profiled timeline is exported as the merged trace artifact.
 _TRACE_CASE_ID = "mp_step/tp2pp2/A2"
@@ -276,8 +301,14 @@ def run_suite(
     out_dir: str = ".",
     write_trace_artifact: bool = True,
     progress=None,
+    suite_name: str = "default",
 ) -> tuple[dict, str, str | None]:
-    """Run the suite; returns ``(doc, bench_path, trace_path_or_None)``."""
+    """Run the suite; returns ``(doc, bench_path, trace_path_or_None)``.
+
+    ``suite_name`` is recorded in the document; the compare gate refuses
+    to gate documents from different suites against each other, which is
+    what keeps degraded (faulted) runs away from the healthy baseline.
+    """
     suite = default_suite() if suite is None else suite
     repeats = _REPEATS[bool(quick)]
     cases = []
@@ -295,7 +326,7 @@ def run_suite(
         "git_sha": sha,
         "created_unix": time.time(),
         "quick": bool(quick),
-        "suite": "default",
+        "suite": suite_name,
         "machine_calibration_ms": machine_calibration_ms(),
         "cases": cases,
     }

@@ -50,7 +50,7 @@ BENCH_SCHEMA = {
                     "id": {"type": "string"},
                     "kind": {"type": "string",
                              "enum": ["mp_step", "finetune", "sim",
-                                      "backend_step"]},
+                                      "backend_step", "degraded"]},
                     "params": {
                         "type": "object",
                         "required": ["scheme", "tp", "pp"],
@@ -62,6 +62,7 @@ BENCH_SCHEMA = {
                             "schedule": {"type": "string",
                                          "enum": ["gpipe", "1f1b"]},
                             "microbatches": {"type": "integer", "minimum": 1},
+                            "fault_plan": {"type": "string"},
                         },
                     },
                     "wall_ms": _WALL,

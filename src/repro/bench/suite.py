@@ -20,6 +20,14 @@ Four kinds of case, mirroring how the repo is actually exercised:
   microbatched 1F1B variants (``.../1f1b-m4``) on the mp backend — the
   schedule/overlap hot path this suite's wall times gate.
 
+A fifth kind, ``degraded``, lives in its own opt-in suite
+(:func:`degraded_suite`, ``python -m repro.bench run --suite degraded``):
+the same mp backend step executed under a builtin fault plan
+(``REPRO_FAULT_PLAN``), per plan × scheme.  It measures what recovery
+costs — retries, backoff, re-reads — and must **never** be compared
+against ``benchmarks/baseline.json``, whose medians are healthy-path
+numbers (the compare gate refuses mismatched suite names).
+
 Case ids are stable strings (``mp_step/tp2pp1/T2``); the compare gate
 matches baseline and candidate by id.
 """
@@ -29,7 +37,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["BenchCase", "LAYOUTS", "SCHEMES", "BACKEND_SCHEMES",
-           "default_suite", "scheme_slug"]
+           "DEGRADED_SCHEMES", "DEGRADED_PLANS", "default_suite",
+           "degraded_suite", "scheme_slug"]
 
 #: (tp, pp) layouts the paper's small-scale tables exercise.
 LAYOUTS: tuple[tuple[int, int], ...] = ((2, 1), (1, 2), (2, 2))
@@ -47,24 +56,35 @@ def scheme_slug(scheme: str) -> str:
 #: cover the identity, all-gather and quantized collective paths.
 BACKEND_SCHEMES: tuple[str, ...] = ("w/o", "T2", "Q2")
 
+#: Degraded-mode matrix: builtin fault plans × a dense and a compressed
+#: scheme, enough to see whether compression changes recovery cost.
+DEGRADED_PLANS: tuple[str, ...] = ("mixed", "straggler")
+DEGRADED_SCHEMES: tuple[str, ...] = ("w/o", "Q2")
+
 
 @dataclass(frozen=True)
 class BenchCase:
     """One tracked workload."""
 
     id: str
-    kind: str  # "mp_step" | "finetune" | "sim" | "backend_step"
+    kind: str  # "mp_step" | "finetune" | "sim" | "backend_step" | "degraded"
     scheme: str = "w/o"
     tp: int = 1
     pp: int = 1
     backend: str = "inproc"
     schedule: str = "gpipe"
     microbatches: int = 1
+    #: Builtin fault-plan name armed via ``REPRO_FAULT_PLAN`` for
+    #: ``degraded`` cases; empty (no plan) everywhere else.
+    fault_plan: str = ""
 
     def params(self) -> dict:
-        return {"scheme": self.scheme, "tp": self.tp, "pp": self.pp,
-                "backend": self.backend, "schedule": self.schedule,
-                "microbatches": self.microbatches}
+        p = {"scheme": self.scheme, "tp": self.tp, "pp": self.pp,
+             "backend": self.backend, "schedule": self.schedule,
+             "microbatches": self.microbatches}
+        if self.fault_plan:
+            p["fault_plan"] = self.fault_plan
+        return p
 
 
 def default_suite() -> list[BenchCase]:
@@ -119,3 +139,21 @@ def default_suite() -> list[BenchCase]:
                 backend="mp", schedule="1f1b", microbatches=4,
             ))
     return cases
+
+
+def degraded_suite() -> list[BenchCase]:
+    """The opt-in chaos matrix: fault plan × scheme on the mp backend.
+
+    Every case is a tp2pp2 mp step with ``REPRO_FAULT_PLAN`` armed, so
+    the wall times include retries, re-reads and injected stragglers.
+    Compare runs of this suite only against other degraded runs.
+    """
+    return [
+        BenchCase(
+            id=f"degraded/{plan}/tp2pp2/{scheme_slug(scheme)}",
+            kind="degraded", scheme=scheme, tp=2, pp=2, backend="mp",
+            fault_plan=plan,
+        )
+        for plan in DEGRADED_PLANS
+        for scheme in DEGRADED_SCHEMES
+    ]

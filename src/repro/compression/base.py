@@ -143,6 +143,21 @@ class Compressor(abc.ABC):
         """Learnable parameters (empty for non-learning schemes)."""
         return []
 
+    # ------------------------------------------------------------------
+    def runtime_state(self) -> dict:
+        """Mutable per-site state for mid-run checkpointing.
+
+        Learnable *parameters* live in the model's state dict; this is the
+        rest — error-feedback residuals, advancing RNG streams — anything
+        a bitwise resume of an interrupted run must restore.  Stateless
+        schemes return ``{}`` (the default) and cost nothing in the
+        checkpoint.
+        """
+        return {}
+
+    def load_runtime_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`runtime_state`."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

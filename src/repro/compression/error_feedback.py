@@ -89,5 +89,19 @@ class ErrorFeedbackCompressor(Compressor):
     def parameters(self):
         return self.inner.parameters()
 
+    def runtime_state(self) -> dict:
+        state: dict = {"residuals": {site: r.copy()
+                                     for site, r in self._residuals.items()}}
+        inner = self.inner.runtime_state()
+        if inner:
+            state["inner"] = inner
+        return state
+
+    def load_runtime_state(self, state: dict) -> None:
+        self._residuals = {site: np.asarray(r).copy()
+                           for site, r in state.get("residuals", {}).items()}
+        if "inner" in state:
+            self.inner.load_runtime_state(state["inner"])
+
     def __repr__(self) -> str:
         return f"ErrorFeedbackCompressor({self.inner!r}, decay={self.decay})"

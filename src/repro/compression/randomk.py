@@ -115,5 +115,19 @@ class RandomKCompressor(Compressor):
 
         return Tensor._make(out_data, (x,), backward)
 
+    def runtime_state(self) -> dict:
+        # bit_generator.state is a plain JSON-able dict (PCG64: name plus
+        # integer state/inc words) — exactly what a bitwise resume needs.
+        return {"rng": {site: rng.bit_generator.state
+                        for site, rng in self._site_rngs.items()}}
+
+    def load_runtime_state(self, state: dict) -> None:
+        self._site_rngs = {}
+        for site, bg_state in state.get("rng", {}).items():
+            rng = np.random.default_rng(
+                (self._seed, zlib.crc32(site.encode())))
+            rng.bit_generator.state = bg_state
+            self._site_rngs[site] = rng
+
     def __repr__(self) -> str:
         return f"RandomKCompressor(fraction={self.fraction:.4f}, unbiased={self.unbiased})"

@@ -22,6 +22,12 @@ class LRSchedule:
         self.optimizer.lr = lr
         return lr
 
+    def state_dict(self) -> dict:
+        return {"step": self._step}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._step = int(state["step"])
+
 
 class ConstantLR(LRSchedule):
     """No-op schedule."""

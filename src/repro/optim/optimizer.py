@@ -33,6 +33,29 @@ class Optimizer:
     def _update(self, index: int, p: Tensor) -> None:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """Serializable optimizer state for checkpointing.
+
+        Slot buffers are keyed by parameter *index*, which is stable
+        across a fresh model construction from the same config (parameter
+        registration order is deterministic) — the checkpoint needs no
+        name mapping.
+        """
+        return {"step_count": self.step_count, "lr": self.lr,
+                "slots": self._slot_state()}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.step_count = int(state["step_count"])
+        self.lr = float(state["lr"])
+        self._load_slot_state(state.get("slots", {}))
+
+    def _slot_state(self) -> dict[str, dict[int, np.ndarray]]:
+        """Per-subclass slot buffers (momenta etc.); base class has none."""
+        return {}
+
+    def _load_slot_state(self, slots: dict) -> None:
+        pass
+
     def clip_grad_norm(self, max_norm: float) -> float:
         """Clip the global gradient norm in place; returns the pre-clip norm."""
         total = 0.0
@@ -67,6 +90,13 @@ class SGD(Optimizer):
             self._velocity[index] = v
             g = v
         p.data -= self.lr * g
+
+    def _slot_state(self) -> dict[str, dict[int, np.ndarray]]:
+        return {"velocity": {i: v.copy() for i, v in self._velocity.items()}}
+
+    def _load_slot_state(self, slots: dict) -> None:
+        self._velocity = {int(i): np.asarray(v).copy()
+                          for i, v in slots.get("velocity", {}).items()}
 
 
 class Adam(Optimizer):
@@ -103,6 +133,16 @@ class Adam(Optimizer):
         mhat = m / (1 - b1**self.step_count)
         vhat = v / (1 - b2**self.step_count)
         p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def _slot_state(self) -> dict[str, dict[int, np.ndarray]]:
+        return {"m": {i: m.copy() for i, m in self._m.items()},
+                "v": {i: v.copy() for i, v in self._v.items()}}
+
+    def _load_slot_state(self, slots: dict) -> None:
+        self._m = {int(i): np.asarray(m).copy()
+                   for i, m in slots.get("m", {}).items()}
+        self._v = {int(i): np.asarray(v).copy()
+                   for i, v in slots.get("v", {}).items()}
 
 
 class AdamW(Adam):

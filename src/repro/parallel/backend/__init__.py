@@ -29,6 +29,7 @@ from repro.parallel.backend.transport import (
     DEFAULT_SLOTS,
     DEFAULT_TIMEOUT_S,
     HEADER_SIZE,
+    CorruptMessage,
     ExchangeHandle,
     RankTransport,
     ShmBarrier,
@@ -48,6 +49,7 @@ __all__ = [
     "set_rank_context",
     "spmd_ranks",
     "ConcurrencyLog",
+    "CorruptMessage",
     "load_events",
     "payload_crc",
     "DEFAULT_CAPACITY",

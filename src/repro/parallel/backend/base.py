@@ -83,6 +83,14 @@ class ExecutionBackend:
         """Propagate the parent model's (updated) weights to the ranks."""
         raise NotImplementedError
 
+    def runtime_state(self) -> dict:
+        """Compressor runtime state (EF residuals, RNG streams) for
+        checkpointing; ``{}`` for backends/models with none."""
+        return {}
+
+    def load_runtime_state(self, state: dict) -> None:
+        """Restore compressor runtime state captured by :meth:`runtime_state`."""
+
     def close(self) -> None:
         """Release processes/shared memory. Idempotent."""
 

@@ -55,3 +55,14 @@ class InprocBackend(ExecutionBackend):
 
     def sync_weights(self, model) -> None:
         pass  # there is nobody to sync with
+
+    def runtime_state(self) -> dict:
+        backbone = getattr(self.model, "backbone", None)
+        if backbone is None:
+            return {}
+        return backbone.runtime_state_dict()
+
+    def load_runtime_state(self, state: dict) -> None:
+        backbone = getattr(self.model, "backbone", None)
+        if backbone is not None:
+            backbone.load_runtime_state_dict(state)

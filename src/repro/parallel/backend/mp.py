@@ -50,7 +50,17 @@ class MpBackend(ExecutionBackend):
     def __init__(self, model, *, capacity_bytes: int = DEFAULT_CAPACITY,
                  timeout: float = DEFAULT_TIMEOUT_S,
                  collect_timelines: bool = False,
-                 overlap: bool = True):
+                 overlap: bool = True,
+                 shutdown_timeout: float = 5.0):
+        # Teardown state first: if anything below raises (bad config, spawn
+        # failure), __del__ -> close() must find a coherent object instead
+        # of masking the root cause with an AttributeError.
+        self._closed = False
+        self._procs: list = []
+        self._conns: list = []
+        self.transport = None
+        self.shutdown_timeout = shutdown_timeout
+
         cfg = model.config
         if cfg.model.dropout != 0.0:
             raise BackendError(
@@ -65,9 +75,6 @@ class MpBackend(ExecutionBackend):
         self.collect_timelines = collect_timelines
         self.overlap = overlap
         self._partition = model.backbone.partition
-        self._closed = False
-        self._procs: list = []
-        self._conns: list = []
 
         # The parent attaches as an observer (rank=-1): it owns the segment
         # lifetime but opens no channels.
@@ -135,6 +142,9 @@ class MpBackend(ExecutionBackend):
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError):
+                    # Brief join so the exit code is harvested: EOF on the
+                    # pipe usually races the process's actual death.
+                    self._procs[rank].join(0.5)
                     exitcode = self._procs[rank].exitcode
                     self.close()
                     detail = (f" (worker died, exit code {exitcode})"
@@ -247,28 +257,85 @@ class MpBackend(ExecutionBackend):
         self._send_all(("weights", model.state_dict()))
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_nested(dst: dict, src: dict) -> dict:
+        """Recursive dict union; leaves overwrite.
+
+        Safe for runtime state because every compressor site is either
+        owned by exactly one rank or replicated bitwise across tp ranks
+        (the replicas replay the same deterministic codec sequence), so
+        colliding leaves are equal by construction.
+        """
+        for key, value in src.items():
+            if (key in dst and isinstance(dst[key], dict)
+                    and isinstance(value, dict)):
+                MpBackend._merge_nested(dst[key], value)
+            else:
+                dst[key] = value
+        return dst
+
+    def runtime_state(self) -> dict:
+        """Union of every worker's compressor runtime state (EF, RNG)."""
+        self._ensure_open()
+        self._send_all(("runtime_state",))
+        replies = self._collect(range(self.world))
+        merged: dict = {}
+        for rank in range(self.world):
+            self._merge_nested(merged, replies[rank][2])
+        return merged
+
+    def load_runtime_state(self, state: dict) -> None:
+        """Broadcast checkpointed compressor state to every worker.
+
+        No reply needed: the control pipe is FIFO, so the next ``step``
+        command is guaranteed to observe the restored state.
+        """
+        self._ensure_open()
+        self._send_all(("load_runtime_state", state))
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._closed:
+        """Tear the gang down; bounded, idempotent, leak-free.
+
+        Total shutdown time is bounded by ``shutdown_timeout`` plus one
+        shared 1s grace for terminated processes: the join deadline is
+        *global* (a process past it gets ``join(0.0)``, not a fresh
+        per-process grant), and stuck workers are terminated, then killed
+        if SIGTERM doesn't take.  The shm segment is closed+unlinked in a
+        ``finally`` so even a worker that had to be terminated while
+        attached never leaks the segment (the kernel frees it once the
+        killed process's mapping goes away).
+        """
+        if getattr(self, "_closed", True):
             return
         self._closed = True
-        for conn in self._conns:
-            try:
-                conn.send(("shutdown",))
-            except (OSError, BrokenPipeError):
-                pass
-        deadline = time.monotonic() + 5.0
-        for proc in self._procs:
-            proc.join(max(0.1, deadline - time.monotonic()))
-        for proc in self._procs:
-            if proc.is_alive():
+        try:
+            for conn in self._conns:
+                try:
+                    conn.send(("shutdown",))
+                except (OSError, BrokenPipeError):
+                    pass
+            deadline = time.monotonic() + self.shutdown_timeout
+            for proc in self._procs:
+                proc.join(max(0.0, deadline - time.monotonic()))
+            stuck = [p for p in self._procs if p.is_alive()]
+            for proc in stuck:
                 proc.terminate()
-                proc.join(1.0)
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
-        self.transport.close()
+            kill_deadline = time.monotonic() + 1.0
+            for proc in stuck:
+                proc.join(max(0.0, kill_deadline - time.monotonic()))
+                if proc.is_alive():
+                    proc.kill()
+                    proc.join(1.0)
+            for conn in self._conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+        finally:
+            transport = getattr(self, "transport", None)
+            if transport is not None:
+                transport.close()
 
     def __del__(self):
         try:

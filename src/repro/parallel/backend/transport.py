@@ -43,22 +43,38 @@ execute the *real* protocol code one transition at a time and explore
 every interleaving.  Each commit also reports to the concurrency event
 log (:mod:`repro.parallel.backend.conclog`) when one is installed; the
 default is ``None`` and costs one check per operation.
+
+Chaos seam: the blocking ``send``/``recv`` paths additionally consult the
+process-wide fault plan (:mod:`repro.parallel.backend.faults`, armed via
+``REPRO_FAULT_PLAN``).  A planned *drop* makes the sender discard its
+staged message and resend with exponential backoff; a planned *corrupt*
+flips bytes in the slot so the receiver's integrity checks
+(magic/seq/CRC) fire, and the receiver re-reads after restoring the
+slot.  Both are bounded by the plan's retry budget, after which the
+transport raises a typed :class:`BackendError` naming the rank and
+mailbox — an injected fault can slow a run down but never hang it.
+Whenever a plan is installed, senders also stamp a CRC32 of the payload
+into the header (``_FLAG_CRC``) so corruption is detectable end-to-end;
+without a plan the flag stays clear and the wire format is byte-for-byte
+the healthy-path protocol.  ``try_send``/``try_recv`` remain
+plan-oblivious so the model checker explores the real protocol.
 """
 
 from __future__ import annotations
 
 import struct
 import time
+import zlib
 from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.parallel.backend import conclog
+from repro.parallel.backend import conclog, faults
 from repro.parallel.backend.base import BackendError
 
 __all__ = ["ShmChannel", "ShmBarrier", "RankTransport", "ExchangeHandle",
-           "HEADER_SIZE", "DEFAULT_CAPACITY", "DEFAULT_SLOTS",
-           "DEFAULT_TIMEOUT_S"]
+           "CorruptMessage", "HEADER_SIZE", "DEFAULT_CAPACITY",
+           "DEFAULT_SLOTS", "DEFAULT_TIMEOUT_S"]
 
 #: Per-slot payload capacity (bytes). Activations in the scaled-down
 #: models are tens of KB; 1 MiB leaves generous headroom.
@@ -84,13 +100,18 @@ _MAGIC = 0x5250_4F43  # "RPOC"
 _EMPTY, _FULL = 0, 1
 
 #: Full slot header: status(u32) seq(u32) magic(u32) dtype(u8) ndim(u8)
-#: pad(u16) nbytes(u64) shape(8 × u64)
-_HEADER = struct.Struct("<IIIBBHQ8Q")
+#: flags(u16) crc(u32) nbytes(u64) shape(8 × u64)
+_HEADER = struct.Struct("<IIIBBHIQ8Q")
 HEADER_SIZE = _HEADER.size
 
 #: Everything after the status word. Packed separately so writing the
 #: header never touches the status flag the receiver is polling.
-_HEADER_BODY = struct.Struct("<IIBBHQ8Q")
+_HEADER_BODY = struct.Struct("<IIBBHIQ8Q")
+
+#: Header flag: the crc field holds a CRC32 of the payload bytes. Only
+#: set when a fault plan is installed — the healthy path skips both the
+#: checksum computation and the verify so bench medians are unaffected.
+_FLAG_CRC = 1
 
 _DTYPES: tuple[np.dtype, ...] = tuple(
     np.dtype(d) for d in ("float32", "float16", "float64", "int32", "int64", "uint8", "bool")
@@ -101,6 +122,21 @@ _MAX_NDIM = 8
 
 def _now() -> float:
     return time.monotonic()
+
+
+class CorruptMessage(BackendError):
+    """A message failed an integrity check (magic, sequence, or CRC).
+
+    Subclass of :class:`BackendError` so existing typed-error handling is
+    unaffected; distinguished so the receiver's bounded re-read loop can
+    retry integrity failures without masking genuine protocol errors —
+    a ``CorruptMessage`` with no injected corruption pending is re-raised
+    immediately.
+    """
+
+
+def _payload_crc32(arr: np.ndarray) -> int:
+    return zlib.crc32(arr.reshape(-1).view(np.uint8)) if arr.nbytes else 0
 
 
 class ShmChannel:
@@ -128,6 +164,10 @@ class ShmChannel:
         self.dst = dst
         self._send_seq = 0
         self._recv_seq = 0
+        #: Optional span sink for injected-fault windows, wired by
+        #: RankTransport to its timeline (cat ``mp.fault``).
+        self.fault_hook = None
+        self._pending_restore: tuple | None = None
         # Persistent zero-copy views: one u32 status word and one u8
         # payload window per slot.
         self._status = [
@@ -192,9 +232,13 @@ class ShmChannel:
         if arr.nbytes:
             self._payload[slot][: arr.nbytes] = arr.reshape(-1).view(np.uint8)
         shape = tuple(arr.shape) + (0,) * (_MAX_NDIM - arr.ndim)
+        flags = crc = 0
+        if faults.active() is not None:
+            flags = _FLAG_CRC
+            crc = _payload_crc32(arr)
         _HEADER_BODY.pack_into(
             self._buf, slot * self.slot_bytes + 4, seq, _MAGIC, code,
-            arr.ndim, 0, arr.nbytes, *shape,
+            arr.ndim, flags, crc, arr.nbytes, *shape,
         )
         self._send_seq = seq
         log = conclog.active()
@@ -211,20 +255,29 @@ class ShmChannel:
         """Drain the next message from its (FULL) slot and release it."""
         seq = self._recv_seq + 1
         slot = (seq - 1) % self.slots
-        (got_seq, magic, code, ndim, _, nbytes, *shape) = _HEADER_BODY.unpack_from(
-            self._buf, slot * self.slot_bytes + 4)
+        (got_seq, magic, code, ndim, flags, crc, nbytes, *shape) = \
+            _HEADER_BODY.unpack_from(self._buf, slot * self.slot_bytes + 4)
         if magic != _MAGIC:
-            raise BackendError(
+            raise CorruptMessage(
                 f"bad magic 0x{magic:08x} on mailbox {self.src}->{self.dst} "
                 f"slot {slot}",
                 rank=self.src,
             )
         if got_seq != seq:
-            raise BackendError(
+            raise CorruptMessage(
                 f"out-of-order message on channel {self.src}->{self.dst} "
                 f"slot {slot}: seq {got_seq}, expected {seq}",
                 rank=self.src,
             )
+        if flags & _FLAG_CRC and nbytes:
+            got_crc = zlib.crc32(self._payload[slot][:nbytes])
+            if got_crc != crc:
+                raise CorruptMessage(
+                    f"payload crc mismatch on mailbox {self.src}->{self.dst} "
+                    f"slot {slot} (message seq {seq}): expected 0x{crc:08x}, "
+                    f"got 0x{got_crc:08x}",
+                    rank=self.src,
+                )
         out = np.empty(shape[:ndim], dtype=_DTYPES[code])
         if nbytes:
             out.reshape(-1).view(np.uint8)[:] = self._payload[slot][:nbytes]
@@ -261,21 +314,133 @@ class ShmChannel:
             return None
         return self._commit_recv()
 
+    # -- fault-injection helpers ----------------------------------------
+    def _note_fault(self, kind: str, slot: int, seq: int, attempt: int,
+                    start: float) -> None:
+        """Record one injected fault on the conclog and the timeline.
+
+        The conclog event (kind ``fault``) lets the DYN003 replay and the
+        CI artifact show exactly which faults fired; the hook span (cat
+        ``mp.fault``) makes retries visible in the Chrome trace.
+        """
+        log = conclog.active()
+        if log is not None:
+            log.emit("fault", fault=kind, src=self.src, dst=self.dst,
+                     slot=slot, seq=seq, attempt=attempt)
+        if self.fault_hook is not None:
+            self.fault_hook(f"fault:{kind} {self.src}->{self.dst} seq {seq}",
+                            start)
+
+    def _inject_corruption(self, slot: int, field: str) -> None:
+        """Corrupt the slot in place, remembering how to undo it.
+
+        Payload corruption XOR-flips the first bytes of the payload (only
+        meaningful when the sender stamped a CRC — without one the damage
+        would be undetectable, so we corrupt the header instead); header
+        corruption overwrites the magic word.  The saved original bytes
+        let the receiver's retry path restore the slot and re-read.
+        """
+        off = slot * self.slot_bytes
+        (_, _, _, _, flags, _, nbytes, *_shape) = _HEADER_BODY.unpack_from(
+            self._buf, off + 4)
+        if field == "payload" and (flags & _FLAG_CRC) and nbytes:
+            window = self._payload[slot][: min(8, nbytes)]
+            saved = window.copy()
+            window ^= 0xFF
+            self._pending_restore = (slot, None, saved)
+        else:
+            saved_hdr = bytes(self._buf[off + 8 : off + 12])
+            self._buf[off + 8 : off + 12] = b"\xde\xad\xbe\xef"
+            self._pending_restore = (slot, saved_hdr, None)
+
+    def _restore_corruption(self) -> bool:
+        """Undo a pending injected corruption; False if none was pending."""
+        if self._pending_restore is None:
+            return False
+        slot, saved_hdr, saved_payload = self._pending_restore
+        self._pending_restore = None
+        if saved_hdr is not None:
+            off = slot * self.slot_bytes
+            self._buf[off + 8 : off + 12] = saved_hdr
+        if saved_payload is not None:
+            self._payload[slot][: len(saved_payload)] = saved_payload
+        return True
+
     # -- public API ------------------------------------------------------
     def send(self, arr: np.ndarray, timeout: float = DEFAULT_TIMEOUT_S) -> None:
         arr, code = self._check_sendable(arr)
         seq = self._send_seq + 1
         slot = (seq - 1) % self.slots
-        self._wait_status(slot, _EMPTY, _now() + timeout,
-                          waiting_on=self.dst, seq=seq)
-        self._commit_send(arr, code)
+        deadline = _now() + timeout
+        self._wait_status(slot, _EMPTY, deadline, waiting_on=self.dst, seq=seq)
+        plan = faults.active()
+        if plan is None:
+            self._commit_send(arr, code)
+            return
+        attempt = 0
+        while True:
+            spec = plan.take_send_fault(self.src, self.dst, seq)
+            if spec is None:
+                self._commit_send(arr, code)
+                return
+            start = _now()
+            if spec.kind == "delay":
+                time.sleep(spec.seconds)
+                self._note_fault("delay", slot, seq, attempt, start)
+                self._commit_send(arr, code)
+                return
+            # Dropped slot: the staged message is lost before publication;
+            # log the lost attempt (marked, so DYN003 pairs the *last*
+            # send with the recv) and resend after a backoff.
+            log = conclog.active()
+            if log is not None:
+                log.emit("send", src=self.src, dst=self.dst, slot=slot,
+                         seq=seq, dropped=True, retry=attempt)
+            self._note_fault("drop", slot, seq, attempt, start)
+            if attempt + 1 >= plan.retry_budget:
+                raise BackendError(
+                    f"message seq {seq} on mailbox {self.src}->{self.dst} "
+                    f"slot {slot} dropped {attempt + 1} times; resend budget "
+                    f"({plan.retry_budget}) exhausted",
+                    rank=self.src,
+                )
+            time.sleep(min(plan.backoff_s * 2 ** attempt, 0.05))
+            attempt += 1
 
     def recv(self, timeout: float = DEFAULT_TIMEOUT_S) -> np.ndarray:
         seq = self._recv_seq + 1
         slot = (seq - 1) % self.slots
-        self._wait_status(slot, _FULL, _now() + timeout,
-                          waiting_on=self.src, seq=seq)
-        return self._commit_recv()
+        deadline = _now() + timeout
+        self._wait_status(slot, _FULL, deadline, waiting_on=self.src, seq=seq)
+        plan = faults.active()
+        attempt = 0
+        while True:
+            if plan is not None:
+                spec = plan.take_recv_fault(self.src, self.dst, seq)
+                if spec is not None:
+                    self._inject_corruption(slot, spec.field)
+            try:
+                out = self._commit_recv()
+                self._pending_restore = None
+                return out
+            except CorruptMessage as err:
+                start = _now()
+                restored = self._restore_corruption()
+                # Genuine corruption (nothing was injected) is a protocol
+                # violation, not a transient — surface it immediately.
+                if plan is None or not restored:
+                    raise
+                self._note_fault("corrupt", slot, seq, attempt, start)
+                if attempt + 1 >= plan.retry_budget:
+                    raise BackendError(
+                        f"message seq {seq} on mailbox "
+                        f"{self.src}->{self.dst} still corrupt after "
+                        f"{attempt + 1} re-reads (budget "
+                        f"{plan.retry_budget}): {err}",
+                        rank=self.src,
+                    ) from err
+                time.sleep(min(plan.backoff_s * 2 ** attempt, 0.05))
+                attempt += 1
 
 
 class ShmBarrier:
@@ -439,10 +604,12 @@ class RankTransport:
                 if rank not in (src, dst):
                     continue
                 off = base + (src * self.world + dst) * ring
-                self._channels[(src, dst)] = ShmChannel(
+                ch = ShmChannel(
                     buf[off : off + ring], self.capacity, src=src, dst=dst,
                     slots=self.slots,
                 )
+                ch.fault_hook = self._record_fault
+                self._channels[(src, dst)] = ch
         #: Optional per-step span sink: when a list, blocking waits append
         #: ``{"name", "cat", "ts_ms", "dur_ms"}`` dicts (worker-local
         #: clock).  ``cat`` is ``mp.wait`` for blocking waits and
@@ -483,6 +650,10 @@ class RankTransport:
     def record_span(self, name: str, start: float, cat: str = "mp.wait") -> None:
         """Public timeline hook for layers above the transport."""
         self._record_wait(name, start, cat)
+
+    def _record_fault(self, name: str, start: float) -> None:
+        """Channel fault hook: injected faults show as ``mp.fault`` spans."""
+        self._record_wait(name, start, cat="mp.fault")
 
     def send(self, dst: int, arr: np.ndarray, timeout: float = DEFAULT_TIMEOUT_S) -> None:
         start = _now()

@@ -20,6 +20,7 @@ gradients, barrier) is exclusively the shared-memory transport.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 
@@ -27,7 +28,7 @@ import numpy as np
 
 import re
 
-from repro.parallel.backend import conclog
+from repro.parallel.backend import conclog, faults
 from repro.parallel.backend.context import RankContext, set_rank_context
 from repro.parallel.backend.transport import RankTransport
 from repro.tensor import Tensor
@@ -203,6 +204,9 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
     # Concurrency event log (DYN003): purely env-gated, off in production.
     conc = conclog.maybe_install_from_env(
         rank, world=rank_info["tp"] * rank_info["pp"])
+    # Fault plan (chaos injection): also purely env-gated; the env var is
+    # inherited from the parent through the spawn context.
+    fault_plan = faults.maybe_install_from_env()
     steps_done = 0
     try:
         transport = RankTransport(spec, rank)
@@ -224,8 +228,36 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
                 break
             if cmd == "weights":
                 model.load_state_dict(msg[1])
+            elif cmd == "runtime_state":
+                state = {}
+                backbone = getattr(model, "backbone", None)
+                if backbone is not None:
+                    state = backbone.runtime_state_dict()
+                conn.send(("result", rank, state))
+            elif cmd == "load_runtime_state":
+                backbone = getattr(model, "backbone", None)
+                if backbone is not None:
+                    backbone.load_runtime_state_dict(msg[1])
             elif cmd == "step":
                 _, input_ids, labels, attention_mask, collect = msg
+                if fault_plan is not None:
+                    fault_plan.set_step(steps_done)
+                    spec = fault_plan.take_step_fault(rank, steps_done)
+                    if spec is not None and spec.kind == "kill":
+                        # Planned death: flush the event log so the run
+                        # stays replayable, then exit hard — the parent
+                        # sees EOF on the pipe and raises a typed
+                        # BackendError naming this rank.
+                        if conc is not None:
+                            conc.emit("fault", fault="kill", step=steps_done)
+                            conc.flush()
+                        conn.close()
+                        os._exit(faults.KILL_EXIT_CODE)
+                    if spec is not None and spec.kind == "delay":
+                        if conc is not None:
+                            conc.emit("fault", fault="delay", step=steps_done,
+                                      seconds=spec.seconds)
+                        time.sleep(spec.seconds)
                 result = _spmd_step(model, ctx, input_ids, labels,
                                     attention_mask, collect)
                 if conc is not None:

@@ -172,6 +172,33 @@ class _ModelParallelBackbone(Module):
     def site_compressor(self, key: str) -> Compressor:
         return self._site_compressors.get(key, self._identity)
 
+    def runtime_state_dict(self) -> dict:
+        """Mutable compressor state (EF residuals, RNG streams) by site.
+
+        Complements :meth:`state_dict` (which holds learnable parameters)
+        for mid-run checkpointing: restoring both makes a resumed run
+        bitwise-identical to an uninterrupted one.  Sites with no state
+        are omitted, so stateless schemes checkpoint nothing extra.
+        """
+        state = {}
+        for key in sorted(self._site_compressors):
+            site_state = self._site_compressors[key].runtime_state()
+            if site_state:
+                state[key] = site_state
+        return state
+
+    def load_runtime_state_dict(self, state: dict) -> None:
+        """Restore per-site compressor state from :meth:`runtime_state_dict`.
+
+        Unknown site keys are ignored, so a checkpoint written under one
+        placement policy can restore into a model that materializes only
+        a subset of its sites.
+        """
+        for key, site_state in state.items():
+            comp = self._site_compressors.get(key)
+            if comp is not None:
+                comp.load_runtime_state(site_state)
+
     @property
     def compressor_parameter_names(self) -> list[str]:
         return [n for n, _ in self.named_parameters() if n.startswith("compressor.")]

@@ -1,12 +1,19 @@
-"""Device and link specifications for the paper's testbeds."""
+"""Device and link specifications for the paper's testbeds.
+
+Beyond the paper's three *uniform* testbeds (NVLink / PCIe / 10GbE),
+:class:`LinkModel` describes heterogeneous deployments — a different
+fabric per pipeline stage or boundary, plus per-rank compute slowdown
+multipliers (stragglers) — so the simulator can answer where compression
+pays *per link* instead of assuming one link class everywhere.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.parallel.topology import LinkType
 
-__all__ = ["GPUSpec", "LinkSpec", "V100", "LINKS"]
+__all__ = ["GPUSpec", "LinkSpec", "LinkModel", "V100", "LINKS"]
 
 
 @dataclass(frozen=True)
@@ -47,6 +54,68 @@ class LinkSpec:
     @property
     def p2p_gbps(self) -> float:
         return self.p2p_bandwidth_gbps if self.p2p_bandwidth_gbps is not None else self.bandwidth_gbps
+
+    def scaled(self, bw_factor: float, latency_factor: float = 1.0) -> "LinkSpec":
+        """A degraded (or upgraded) copy of this link.
+
+        ``bw_factor`` scales both the collective and the point-to-point
+        bandwidth; ``latency_factor`` scales the α term.  Used to model a
+        congested or downtrained link without inventing a new fabric:
+        ``LINKS[LinkType.NVLINK].scaled(0.25)`` is "NVLink at quarter
+        bandwidth".
+        """
+        if bw_factor <= 0 or latency_factor <= 0:
+            raise ValueError("scale factors must be positive")
+        return LinkSpec(
+            name=f"{self.name} (bw x{bw_factor:g})",
+            bandwidth_gbps=self.bandwidth_gbps * bw_factor,
+            latency_s=self.latency_s * latency_factor,
+            ring_scales_with_world=self.ring_scales_with_world,
+            p2p_bandwidth_gbps=(None if self.p2p_bandwidth_gbps is None
+                                else self.p2p_bandwidth_gbps * bw_factor),
+        )
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Heterogeneous link/compute assignment over a TP × PP layout.
+
+    All maps are sparse: anything not named falls back to the layout's
+    homogeneous default, so a :class:`LinkModel` only describes the
+    *deviation* from a uniform cluster.
+
+    - ``tp_links``: pipeline stage → link its TP collectives travel over
+      (e.g. stage 0 on NVLink, stage 1 on PCIe).
+    - ``pp_links``: boundary index → link the boundary activation
+      crosses (mixed NVLink/PCIe/Ethernet pipelines).
+    - ``slow_ranks``: global rank → compute-time multiplier ≥ 1 (a 1.5
+      means that rank's kernels take 1.5× as long — a straggler).  A
+      stage is gated by its slowest rank.
+    """
+
+    tp_links: dict[int, "LinkType | LinkSpec"] = field(default_factory=dict)
+    pp_links: dict[int, "LinkType | LinkSpec"] = field(default_factory=dict)
+    slow_ranks: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for rank, mult in self.slow_ranks.items():
+            if mult < 1.0:
+                raise ValueError(
+                    f"slow_ranks[{rank}] must be >= 1.0 (got {mult}); model "
+                    "a faster cluster by scaling the calibration instead")
+
+    def tp_link(self, stage: int):
+        """Override link for stage ``stage``'s TP group, or None."""
+        return self.tp_links.get(stage)
+
+    def pp_link(self, boundary: int, default):
+        """Link for boundary ``boundary`` (falls back to ``default``)."""
+        return self.pp_links.get(boundary, default)
+
+    def stage_slowdown(self, stage: int, tp: int) -> float:
+        """Compute multiplier gating ``stage``: its slowest rank's factor."""
+        ranks = range(stage * tp, (stage + 1) * tp)
+        return max((self.slow_ranks.get(r, 1.0) for r in ranks), default=1.0)
 
 
 #: Effective link parameters. Bandwidths are effective (not line-rate):

@@ -35,8 +35,10 @@ from repro.simulator.comm import (
     allgather_time,
     allreduce_multinode_time,
     allreduce_time,
+    link_of,
     p2p_time,
 )
+from repro.simulator.hardware import LinkModel
 from repro.simulator.kernels import (
     EncodeDecodeCost,
     elementwise_time,
@@ -64,6 +66,11 @@ class SimSetting:
     policy: CompressionPolicy | None = None
     model: TransformerConfig = field(default_factory=TransformerConfig.bert_large)
     schedule: str = "gpipe"
+    #: Heterogeneous deviation from the uniform topology (per-stage TP
+    #: links, per-boundary PP links, straggler multipliers).  None — the
+    #: default — keeps every homogeneous code path bitwise-identical to
+    #: the pinned bench baselines.
+    links: "LinkModel | None" = None
 
     def __post_init__(self):
         if self.schedule not in SCHEDULES:
@@ -161,30 +168,50 @@ class IterationSimulator:
             decode_multiplicity=mult, cal=self.cal,
         )
 
-    def _tp_allreduce_ms(self, nbytes: int) -> float:
+    def _tp_link_override(self, stage: int | None):
+        """The stage's heterogeneous TP link, or None for the uniform one."""
+        s = self.s
+        if s.links is None or stage is None:
+            return None
+        return s.links.tp_link(stage)
+
+    def _stage_slowdown(self, stage: int | None) -> float:
+        """Straggler multiplier gating ``stage`` (1.0 when homogeneous)."""
+        s = self.s
+        if s.links is None or stage is None:
+            return 1.0
+        return s.links.stage_slowdown(stage, s.tp)
+
+    def _tp_allreduce_ms(self, nbytes: int, stage: int | None = None) -> float:
         """One TP all-reduce, hierarchical when the group spans nodes."""
         s = self.s
+        override = self._tp_link_override(stage)
+        if override is not None:
+            # A per-stage link replaces the whole hierarchy: the stage's TP
+            # group runs its ring over that one fabric.
+            return allreduce_time(nbytes, s.tp, override, self.cal)
         return allreduce_multinode_time(
             nbytes, s.tp, s.topology.gpus_per_node,
             s.topology.intra_node_link, s.topology.inter_node_link, self.cal,
         )
 
-    def tp_forward_comm_ms(self, compressed: bool) -> float:
+    def tp_forward_comm_ms(self, compressed: bool, stage: int | None = None) -> float:
         """One forward ``g`` collective (per site, per microbatch)."""
         s = self.s
         if s.tp <= 1:
             return 0.0
         if not compressed or self.spec.family == "none":
-            return self._tp_allreduce_ms(self._dense_bytes())
+            return self._tp_allreduce_ms(self._dense_bytes(), stage)
         if self.spec.family == "ae":
-            return self._tp_allreduce_ms(self._compressed_bytes())
-        return allgather_time(self._compressed_bytes(), s.tp, s.layout.tp_link(0), self.cal)
+            return self._tp_allreduce_ms(self._compressed_bytes(), stage)
+        link = self._tp_link_override(stage) or s.layout.tp_link(0)
+        return allgather_time(self._compressed_bytes(), s.tp, link, self.cal)
 
-    def tp_backward_comm_ms(self) -> float:
+    def tp_backward_comm_ms(self, stage: int | None = None) -> float:
         """One backward ``f`` all-reduce — always the dense activation."""
         if self.s.tp <= 1:
             return 0.0
-        return self._tp_allreduce_ms(self._dense_bytes())
+        return self._tp_allreduce_ms(self._dense_bytes(), stage)
 
     # ------------------------------------------------------------------
     # Pipeline boundaries
@@ -193,6 +220,8 @@ class IterationSimulator:
         """(forward, backward) send time of one boundary, per microbatch."""
         s = self.s
         link = s.layout.pp_link(boundary_index)
+        if s.links is not None:
+            link = s.links.pp_link(boundary_index, link)
         last_layer = s.partition.boundaries()[boundary_index]
         compressed = (
             self.spec.family != "none" and s.policy.boundary_compressed(last_layer)
@@ -222,14 +251,23 @@ class IterationSimulator:
     # ------------------------------------------------------------------
     # Schedule ingredients (shared with repro.obs.trace)
     # ------------------------------------------------------------------
-    def stage_compute_ms(self) -> tuple[float, float]:
-        """(forward, backward) compute of one stage for one microbatch."""
+    def stage_compute_ms(self, stage: int | None = None) -> tuple[float, float]:
+        """(forward, backward) compute of one stage for one microbatch.
+
+        ``stage`` selects the straggler multiplier when a heterogeneous
+        :class:`LinkModel` is configured; None (or no model) is the
+        uniform-cluster value.
+        """
         s = self.s
         layer_fwd = self.layer_forward_compute_ms()
         layer_ew = self.layer_elementwise_ms()
         per_stage = s.model.num_layers / s.pp
         fwd = (layer_fwd + layer_ew) * per_stage
         bwd = (self.cal.backward_ratio * layer_fwd + layer_ew) * per_stage
+        slow = self._stage_slowdown(stage)
+        if slow != 1.0:
+            fwd *= slow
+            bwd *= slow
         return fwd, bwd
 
     def compute_makespans(self) -> tuple[float, float, float]:
@@ -247,13 +285,33 @@ class IterationSimulator:
         """
         s = self.s
         m = s.num_microbatches
-        tf, tb = self.stage_compute_ms()
         slots = m + s.pp - 1
+        if s.links is None:
+            # Homogeneous path, kept verbatim: the bench baselines pin
+            # these sums bitwise, and float sums of equal stage times are
+            # not interchangeable with the per-stage generalization below
+            # (slots·tf ≠ tf+tf+…+tf in IEEE arithmetic).
+            tf, tb = self.stage_compute_ms()
+            if s.schedule == "gpipe":
+                return slots * tf, slots * tb, 0.0
+            fwd = s.pp * tf + (m - 1) * (tf + tb)
+            bwd = (m - 1) * tf + slots * tb
+            return fwd, bwd, (m - 1) * (tf + tb)
+        # Heterogeneous: per-stage times; a pipeline's steady state is
+        # gated by its slowest stage, and each region additionally pays
+        # every stage's own work once (the fill/drain ramps).  These forms
+        # reduce to the homogeneous ones when all stages are equal.
+        per_stage = [self.stage_compute_ms(st) for st in range(s.pp)]
+        tfs = [tf for tf, _ in per_stage]
+        tbs = [tb for _, tb in per_stage]
         if s.schedule == "gpipe":
-            return slots * tf, slots * tb, 0.0
-        fwd = s.pp * tf + (m - 1) * (tf + tb)
-        bwd = (m - 1) * tf + slots * tb
-        return fwd, bwd, (m - 1) * (tf + tb)
+            fwd = sum(tfs) + (m - 1) * max(tfs)
+            bwd = sum(tbs) + (m - 1) * max(tbs)
+            return fwd, bwd, 0.0
+        cycle = max(tf + tb for tf, tb in per_stage)
+        fwd = sum(tfs) + (m - 1) * cycle
+        bwd = (m - 1) * max(tfs) + sum(tbs) + (m - 1) * max(tbs)
+        return fwd, bwd, (m - 1) * cycle
 
     def stage_op_starts(self, stage: int) -> tuple[list[float], list[float]]:
         """Start times (ms) of stage ``stage``'s F and B ops, per microbatch.
@@ -267,6 +325,11 @@ class IterationSimulator:
           forwards run at ``(stage+i)·tf`` and each steady-state forward
           back-to-back against its paired backward (``B_{i−w}`` start −
           ``tf``, with ``w`` the stage's warmup depth).
+
+        Always uses the *uniform* stage times — trace rendering keeps the
+        idealized schedule even under a heterogeneous
+        :class:`LinkModel`; the makespans above are where heterogeneity
+        enters the timing model.
         """
         s = self.s
         m = s.num_microbatches
@@ -320,8 +383,9 @@ class IterationSimulator:
 
         for layer in range(L):
             layer_compressed = self.layer_compressed(layer)
-            fwd_comm_total += 2 * m * self.tp_forward_comm_ms(layer_compressed)
-            bwd_comm_total += 2 * m * self.tp_backward_comm_ms()
+            stage = s.partition.stage_of(layer) if s.links is not None else None
+            fwd_comm_total += 2 * m * self.tp_forward_comm_ms(layer_compressed, stage)
+            bwd_comm_total += 2 * m * self.tp_backward_comm_ms(stage)
             if layer_compressed:
                 enc_total += 2 * enc_mult * site.encode_ms
                 dec_total += 2 * gpu_mult * site.decode_ms
@@ -356,3 +420,47 @@ class IterationSimulator:
     def total_ms(self) -> float:
         """Average iteration time in ms (the tables' headline number)."""
         return self.breakdown().total_ms
+
+    def placement_report(self) -> list[dict]:
+        """Per-link compression payoff: where does this scheme help?
+
+        One entry per TP stage (``kind="tp"``) and PP boundary
+        (``kind="pp"``), each with the resolved link name, the dense and
+        compressed per-microbatch comm cost over that link, and their
+        ratio.  ``speedup < 1`` flags links where the scheme *loses* —
+        the heterogeneous question the paper's uniform testbeds can't
+        ask: with stage 0 on NVLink and stage 1 on Ethernet, compression
+        may pay only on the slow half.
+        """
+        s = self.s
+        report: list[dict] = []
+        if s.tp > 1:
+            for stage in range(s.pp):
+                st = stage if s.links is not None else None
+                dense = self.tp_forward_comm_ms(False, st)
+                comp = self.tp_forward_comm_ms(True, st)
+                link = self._tp_link_override(st) or s.topology.intra_node_link
+                report.append({
+                    "kind": "tp",
+                    "index": stage,
+                    "link": link_of(link).name,
+                    "dense_ms": dense,
+                    "compressed_ms": comp,
+                    "speedup": dense / comp if comp > 0 else 1.0,
+                })
+        if s.pp > 1:
+            for b in range(s.pp - 1):
+                link = s.layout.pp_link(b)
+                if s.links is not None:
+                    link = s.links.pp_link(b, link)
+                dense = p2p_time(self._dense_bytes(), link, self.cal)
+                fwd, bwd = self.boundary_send_ms(b)
+                report.append({
+                    "kind": "pp",
+                    "index": b,
+                    "link": link_of(link).name,
+                    "dense_ms": 2 * dense,
+                    "compressed_ms": fwd + bwd,
+                    "speedup": (2 * dense) / (fwd + bwd) if fwd + bwd > 0 else 1.0,
+                })
+        return report

@@ -1,12 +1,37 @@
-"""Checkpoint serialization to .npz."""
+"""Checkpoint serialization to .npz.
+
+Two layers:
+
+- :func:`save_checkpoint` / :func:`load_checkpoint` — a flat
+  ``{name: array}`` state dict, unchanged since v0.
+- :func:`save_trainer_state` / :func:`load_trainer_state` — the *full*
+  mid-run trainer snapshot: model weights, optimizer slot buffers, LR
+  scheduler step, the data-order RNG stream, training progress counters,
+  and per-site compressor runtime state (error-feedback residuals,
+  Random-K RNG streams).  Restoring all of it makes a run killed at step
+  k and resumed from the step-k checkpoint finish bitwise-identical to
+  an unkilled run (tests/training/test_chaos_recovery.py).
+
+The trainer snapshot stays a plain ``allow_pickle=False`` npz: every
+array travels as a real npz entry, and the nested structure (optimizer
+slots, RNG states, runtime state) is carried by a single JSON document in
+the ``meta`` entry, with arrays swapped for ``{"__array__": i}``
+placeholders pointing at ``aux::{i}`` entries.  RNG bit-generator states
+are dicts of (big) ints — JSON-safe without pickle.
+"""
 
 from __future__ import annotations
 
+import json
 import os
+from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "TrainerState",
+           "save_trainer_state", "load_trainer_state"]
+
+_ARRAY_KEY = "__array__"
 
 
 def _npz_path(path: str) -> str:
@@ -22,7 +47,9 @@ def _npz_path(path: str) -> str:
 def save_checkpoint(state: dict[str, np.ndarray], path: str) -> None:
     """Write a state dict to ``path`` (npz). Dotted names are preserved."""
     path = _npz_path(path)
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)
     np.savez(path, **state)
 
 
@@ -30,9 +57,109 @@ def load_checkpoint(path: str) -> dict[str, np.ndarray]:
     """Load a state dict written by :func:`save_checkpoint`.
 
     Accepts the same ``path`` that was passed to :func:`save_checkpoint`,
-    with or without the ``.npz`` suffix.
+    with or without the ``.npz`` suffix.  The bare path is only taken as-is
+    when it names a *file* — ``isfile``, not ``exists`` — so a directory
+    that happens to share the checkpoint's name (``ckpt/`` next to
+    ``ckpt.npz``) can't shadow it and send ``np.load`` into a confusing
+    IsADirectoryError.
     """
-    if not os.path.exists(path):
+    if not os.path.isfile(path):
         path = _npz_path(path)
     with np.load(path) as data:
         return {k: data[k].copy() for k in data.files}
+
+
+# ---------------------------------------------------------------------------
+# Full trainer snapshots
+
+
+@dataclass
+class TrainerState:
+    """Everything a bitwise mid-run resume needs, as loaded from disk."""
+
+    model_state: dict[str, np.ndarray]
+    optimizer_state: dict
+    schedule_state: dict
+    data_rng_state: dict
+    runtime_state: dict = field(default_factory=dict)
+    global_step: int = 0
+    epoch: int = 0
+    step_in_epoch: int = 0
+
+
+def _pack(node, arrays: list[np.ndarray]):
+    """Replace every ndarray in a nested structure with a placeholder.
+
+    Appends extracted arrays to ``arrays``; returns the JSON-able mirror.
+    Scalars (including numpy scalars) pass through as native types.
+    """
+    if isinstance(node, np.ndarray):
+        arrays.append(node)
+        return {_ARRAY_KEY: len(arrays) - 1}
+    if isinstance(node, dict):
+        return {str(k): _pack(v, arrays) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_pack(v, arrays) for v in node]
+    if isinstance(node, (np.integer, np.floating, np.bool_)):
+        return node.item()
+    return node
+
+
+def _unpack(node, arrays: dict[int, np.ndarray]):
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_KEY}:
+            return arrays[int(node[_ARRAY_KEY])]
+        return {k: _unpack(v, arrays) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_unpack(v, arrays) for v in node]
+    return node
+
+
+def save_trainer_state(path: str, *, model_state: dict[str, np.ndarray],
+                       optimizer_state: dict, schedule_state: dict,
+                       data_rng_state: dict, runtime_state: dict | None = None,
+                       global_step: int = 0, epoch: int = 0,
+                       step_in_epoch: int = 0) -> None:
+    """Write a full trainer snapshot (one pickle-free npz file)."""
+    arrays: list[np.ndarray] = []
+    meta = {
+        "version": 1,
+        "global_step": int(global_step),
+        "epoch": int(epoch),
+        "step_in_epoch": int(step_in_epoch),
+        "optimizer": _pack(optimizer_state, arrays),
+        "schedule": _pack(schedule_state, arrays),
+        "data_rng": _pack(data_rng_state, arrays),
+        "runtime": _pack(runtime_state or {}, arrays),
+    }
+    entries: dict[str, np.ndarray] = {
+        f"model::{name}": arr for name, arr in model_state.items()
+    }
+    for i, arr in enumerate(arrays):
+        entries[f"aux::{i}"] = arr
+    entries["meta"] = np.asarray(json.dumps(meta))
+    save_checkpoint(entries, path)
+
+
+def load_trainer_state(path: str) -> TrainerState:
+    """Load a snapshot written by :func:`save_trainer_state`."""
+    entries = load_checkpoint(path)
+    if "meta" not in entries:
+        raise ValueError(
+            f"{path!r} is not a trainer snapshot (no 'meta' entry); "
+            "was it written by save_checkpoint instead of save_trainer_state?")
+    meta = json.loads(str(entries["meta"][()]))
+    arrays = {int(k.split("::", 1)[1]): v
+              for k, v in entries.items() if k.startswith("aux::")}
+    model_state = {k.split("::", 1)[1]: v
+                   for k, v in entries.items() if k.startswith("model::")}
+    return TrainerState(
+        model_state=model_state,
+        optimizer_state=_unpack(meta["optimizer"], arrays),
+        schedule_state=_unpack(meta["schedule"], arrays),
+        data_rng_state=_unpack(meta["data_rng"], arrays),
+        runtime_state=_unpack(meta["runtime"], arrays),
+        global_step=int(meta["global_step"]),
+        epoch=int(meta["epoch"]),
+        step_in_epoch=int(meta["step_in_epoch"]),
+    )

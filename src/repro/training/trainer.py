@@ -9,6 +9,7 @@ trainer drives baseline and compressed runs.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.data.tasks import GlueDataset
 from repro.obs.metrics import NULL_RECORDER, RunRecorder
 from repro.optim import Adam, WarmupLinearLR
 from repro.tensor import no_grad
+from repro.training.checkpoint import load_trainer_state, save_trainer_state
 
 __all__ = ["TrainConfig", "FineTuneTrainer", "evaluate_task"]
 
@@ -62,6 +64,12 @@ class FineTuneTrainer:
         self.history: list[float] = []
         self.recorder = recorder
         self.backend = backend
+        self.schedule = None
+        self.rng = None
+        self.global_step = 0
+        self._epoch = 0
+        self._step_in_epoch = 0
+        self._epoch_rng_state: dict | None = None
 
     def _backend_step(self, batch) -> float:
         """One step through the execution backend's step protocol."""
@@ -97,30 +105,108 @@ class FineTuneTrainer:
             self.optimizer.step()
         return loss.item()
 
-    def train(self, dataset: GlueDataset) -> list[float]:
-        """Run the configured number of epochs; returns per-step losses."""
+    def _collect_runtime_state(self) -> dict:
+        """Compressor runtime state from wherever it actually lives.
+
+        With an mp backend the advancing state (EF residuals, Random-K
+        streams) lives in the worker replicas, so it must be pulled over
+        the control plane; inproc (or no backend) reads the local model.
+        """
+        if self.backend is not None:
+            return self.backend.runtime_state()
+        backbone = getattr(self.model, "backbone", None)
+        return backbone.runtime_state_dict() if backbone is not None else {}
+
+    def save_state(self, path: str) -> None:
+        """Write a full mid-run snapshot (resume with ``resume_from``)."""
+        if self.schedule is None or self._epoch_rng_state is None:
+            raise RuntimeError("save_state called before any training step")
+        save_trainer_state(
+            path,
+            model_state=self.model.state_dict(),
+            optimizer_state=self.optimizer.state_dict(),
+            schedule_state=self.schedule.state_dict(),
+            data_rng_state=self._epoch_rng_state,
+            runtime_state=self._collect_runtime_state(),
+            global_step=self.global_step,
+            epoch=self._epoch,
+            step_in_epoch=self._step_in_epoch,
+        )
+
+    def _restore(self, path: str) -> tuple[int, int]:
+        """Load a snapshot; returns (start_epoch, steps to skip in it)."""
+        state = load_trainer_state(path)
+        self.model.load_state_dict(state.model_state)
+        self.optimizer.load_state_dict(state.optimizer_state)
+        self.schedule.load_state_dict(state.schedule_state)
+        # The snapshot's RNG state was captured at the interrupted epoch's
+        # start, so replaying batch_iter from it re-draws the identical
+        # shuffle; the already-consumed batches are skipped by count.
+        self.rng.bit_generator.state = copy.deepcopy(state.data_rng_state)
+        self.global_step = state.global_step
+        backbone = getattr(self.model, "backbone", None)
+        if backbone is not None:
+            backbone.load_runtime_state_dict(state.runtime_state)
+        if self.backend is not None:
+            self.backend.load_runtime_state(state.runtime_state)
+            self.backend.sync_weights(self.model)
+        return state.epoch, state.step_in_epoch
+
+    def train(self, dataset: GlueDataset, *, checkpoint_path: str | None = None,
+              checkpoint_every: int | None = None,
+              resume_from: str | None = None,
+              max_steps: int | None = None) -> list[float]:
+        """Run the configured number of epochs; returns per-step losses.
+
+        ``checkpoint_path``/``checkpoint_every`` write a full trainer
+        snapshot every N global steps; ``resume_from`` restores one and
+        continues — bitwise-identical to the uninterrupted run
+        (tests/training/test_chaos_recovery.py).  ``max_steps`` stops
+        after that many global steps (used by tests to emulate a kill).
+        """
         cfg = self.config
         rec = self.recorder
         steps_per_epoch = max(1, int(np.ceil(len(dataset) / cfg.batch_size)))
         total_steps = steps_per_epoch * cfg.epochs
-        schedule = WarmupLinearLR(
+        self.schedule = WarmupLinearLR(
             self.optimizer,
             warmup_steps=max(1, int(cfg.warmup_frac * total_steps)),
             total_steps=total_steps,
         )
-        rng = np.random.default_rng(cfg.seed)
+        self.rng = np.random.default_rng(cfg.seed)
+        self.global_step = 0
+        start_epoch = skip_steps = 0
+        if resume_from is not None:
+            start_epoch, skip_steps = self._restore(resume_from)
         self.model.train()
-        for _ in range(cfg.epochs):
-            for batch in batch_iter(dataset, cfg.batch_size, rng=rng):
+        for epoch in range(start_epoch, cfg.epochs):
+            # Captured *before* batch_iter draws this epoch's shuffle: a
+            # resume from mid-epoch restores this state and replays the
+            # identical batch order.
+            epoch_rng_state = copy.deepcopy(self.rng.bit_generator.state)
+            skip = skip_steps if epoch == start_epoch else 0
+            for step_in_epoch, batch in enumerate(
+                    batch_iter(dataset, cfg.batch_size, rng=self.rng)):
+                if step_in_epoch < skip:
+                    continue
                 with rec.step():
                     if self.backend is not None:
                         loss_val = self._backend_step(batch)
                     else:
                         loss_val = self._inproc_step(batch)
-                    rec.gauge("lr", schedule.step())
+                    rec.gauge("lr", self.schedule.step())
                     rec.gauge("loss", loss_val)
                     rec.count("samples", len(batch.labels))
                     self.history.append(loss_val)
+                self.global_step += 1
+                self._epoch = epoch
+                self._step_in_epoch = step_in_epoch + 1
+                self._epoch_rng_state = epoch_rng_state
+                if (checkpoint_path is not None and checkpoint_every
+                        and self.global_step % checkpoint_every == 0):
+                    self.save_state(checkpoint_path)
+                if max_steps is not None and self.global_step >= max_steps:
+                    return self.history
         return self.history
 
 

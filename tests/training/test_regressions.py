@@ -39,6 +39,62 @@ class TestCheckpointSuffix:
         with pytest.raises(FileNotFoundError):
             load_checkpoint(os.path.join(tmp_path, "absent"))
 
+    def test_sibling_directory_cannot_shadow_checkpoint(self, tmp_path):
+        """A directory named like the bare path must not shadow ckpt.npz.
+
+        ``load_checkpoint`` used ``os.path.exists`` on the bare path, so a
+        ``ckpt/`` directory next to ``ckpt.npz`` sent ``np.load`` straight
+        into IsADirectoryError; only a *file* may short-circuit the
+        suffix normalization.
+        """
+        state = {"w": np.arange(4, dtype=np.float32)}
+        path = os.path.join(tmp_path, "ckpt")
+        save_checkpoint(state, path)  # writes ckpt.npz
+        os.mkdir(path)  # the shadowing directory
+        loaded = load_checkpoint(path)
+        np.testing.assert_array_equal(loaded["w"], state["w"])
+
+
+class TestCheckpointEdgeCases:
+    """Round-trips that exercise the npz serialization corners."""
+
+    @pytest.mark.parametrize("dtype", ["int8", "uint16", "int32", "int64",
+                                       "bool", "float16"])
+    def test_non_float_dtypes_round_trip(self, tmp_path, dtype):
+        arr = (np.arange(12) % 2).astype(dtype).reshape(3, 4)
+        path = os.path.join(tmp_path, "ckpt")
+        save_checkpoint({"t": arr}, path)
+        out = load_checkpoint(path)["t"]
+        assert out.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_zero_d_arrays_round_trip(self, tmp_path):
+        state = {"scalar": np.float32(3.5) * np.ones(()),
+                 "count": np.array(7, dtype=np.int64)}
+        path = os.path.join(tmp_path, "ckpt")
+        save_checkpoint(state, path)
+        out = load_checkpoint(path)
+        assert out["scalar"].shape == () and out["scalar"] == np.float32(3.5)
+        assert out["count"].shape == () and out["count"] == 7
+
+    def test_empty_state_dict_round_trips(self, tmp_path):
+        path = os.path.join(tmp_path, "empty")
+        save_checkpoint({}, path)
+        assert load_checkpoint(path) == {}
+
+    def test_bare_relative_path_has_no_directory_component(self, tmp_path,
+                                                           monkeypatch):
+        """save_checkpoint('ckpt') must not trip on dirname('') == ''."""
+        monkeypatch.chdir(tmp_path)
+        state = {"w": np.ones(3, dtype=np.float32)}
+        save_checkpoint(state, "ckpt")
+        np.testing.assert_array_equal(load_checkpoint("ckpt")["w"], state["w"])
+
+    def test_parent_directories_are_created(self, tmp_path):
+        path = os.path.join(tmp_path, "a", "b", "ckpt")
+        save_checkpoint({"w": np.zeros(2, dtype=np.float32)}, path)
+        assert set(load_checkpoint(path)) == {"w"}
+
 
 class TestRegressionTaskEvaluation:
     def test_stsb_finetune_evaluates_with_spearman(self):
