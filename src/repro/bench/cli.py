@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro.bench run [--quick] [--out DIR] [--no-trace]
-                              [--suite default|degraded]
+                              [--suite default|degraded] [--only GLOB]
     python -m repro.bench compare [CANDIDATE] [--baseline PATH]
                                   [--wall-tol 1.75] [--all]
     python -m repro.bench report [CANDIDATE] [--format md|csv] [--out PATH]
@@ -75,11 +75,15 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"(IQR {wall['iqr']:.2f}, n={wall['rounds']})")
 
     suite = degraded_suite() if args.suite == "degraded" else None
-    doc, bench_path, trace_path = run_suite(
-        quick=args.quick, suite=suite, out_dir=args.out,
-        write_trace_artifact=not args.no_trace and args.suite == "default",
-        progress=progress, suite_name=args.suite,
-    )
+    try:
+        doc, bench_path, trace_path = run_suite(
+            quick=args.quick, suite=suite, out_dir=args.out,
+            write_trace_artifact=not args.no_trace and args.suite == "default",
+            progress=progress, suite_name=args.suite, only=args.only,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"wrote {bench_path} ({len(doc['cases'])} cases, "
           f"sha {doc['git_sha']}, quick={doc['quick']})")
     if trace_path:
@@ -157,6 +161,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="default",
                        help="degraded = the fault-injected chaos matrix "
                             "(never gated against the healthy baseline)")
+    p_run.add_argument("--only", metavar="GLOB",
+                       help="run only cases whose id matches this glob "
+                            "(e.g. 'backend_step/mp/*')")
     p_run.set_defaults(fn=cmd_run)
 
     p_cmp = sub.add_parser("compare", help="gate a run against the baseline")

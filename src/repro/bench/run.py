@@ -146,6 +146,7 @@ def _run_backend_step(case: BenchCase, warmup: int, rounds: int) -> dict:
     mask = np.ones((16, 16), dtype=np.int64)
 
     backend = create_backend(case.backend, model)
+    collector = None
     try:
         def step():
             optimizer.zero_grad()
@@ -162,9 +163,22 @@ def _run_backend_step(case: BenchCase, warmup: int, rounds: int) -> dict:
             "comm_bytes": {"/".join(key): value
                            for key, value in model.tracker.summary().items()},
         }
+        from repro.obs.telemetry.agent import enabled as _telemetry_enabled
+
+        if _telemetry_enabled():
+            from repro.obs.telemetry import Collector
+
+            collector = Collector()
+            collector.drain(backend, grace_s=0.2)
     finally:
         backend.close()
-    return {"wall_ms": timing.as_dict(), "deterministic": deterministic}
+    out = {"wall_ms": timing.as_dict(), "deterministic": deterministic}
+    if collector is not None:
+        # close() parks late queue batches in the backlog; fold them in
+        # before freezing the per-case snapshot.
+        collector.drain(backend)
+        out["telemetry"] = collector.snapshot()
+    return out
 
 
 def _run_finetune(case: BenchCase, warmup: int, rounds: int) -> dict:
@@ -271,9 +285,12 @@ def _worker_timeline_trace(case: BenchCase) -> dict:
         result = backend.train_step(input_ids, labels, None)
     finally:
         backend.close()
+    # tp/pp let the trace exporter label tracks "rank N · tpX/ppY" via
+    # Chrome process_name/thread_name metadata.
     return worker_timelines_trace(
         result.timelines,
-        {"run_id": f"{case.id} (mp 1f1b m=4)", "schedule": "1f1b"},
+        {"run_id": f"{case.id} (mp 1f1b m=4)", "schedule": "1f1b",
+         "tp": case.tp, "pp": case.pp},
     )
 
 
@@ -302,14 +319,25 @@ def run_suite(
     write_trace_artifact: bool = True,
     progress=None,
     suite_name: str = "default",
+    only: str | None = None,
 ) -> tuple[dict, str, str | None]:
     """Run the suite; returns ``(doc, bench_path, trace_path_or_None)``.
 
     ``suite_name`` is recorded in the document; the compare gate refuses
     to gate documents from different suites against each other, which is
     what keeps degraded (faulted) runs away from the healthy baseline.
+
+    ``only`` restricts the run to cases whose id matches the glob (e.g.
+    ``backend_step/mp/*`` for the telemetry-overhead CI check); an empty
+    match is an error rather than a silently empty document.
     """
     suite = default_suite() if suite is None else suite
+    if only is not None:
+        import fnmatch
+
+        suite = [c for c in suite if fnmatch.fnmatch(c.id, only)]
+        if not suite:
+            raise ValueError(f"--only {only!r} matches no case in the suite")
     repeats = _REPEATS[bool(quick)]
     cases = []
     for case in suite:

@@ -13,7 +13,8 @@ needs.
 
 from __future__ import annotations
 
-__all__ = ["SCHEMA_VERSION", "BENCH_SCHEMA", "BenchSchemaError", "validate_bench"]
+__all__ = ["SCHEMA_VERSION", "BENCH_SCHEMA", "BenchSchemaError", "validate_bench",
+           "schema_errors"]
 
 SCHEMA_VERSION = 1
 
@@ -66,6 +67,11 @@ BENCH_SCHEMA = {
                         },
                     },
                     "wall_ms": _WALL,
+                    # Optional per-case telemetry summary (pooled window
+                    # stats from the live side channel when REPRO_TELEMETRY
+                    # was armed for the run). Shape owned by
+                    # repro.obs.telemetry; opaque to the bench gate.
+                    "telemetry": {"type": "object"},
                     # Flat metric name -> number, except comm_bytes which
                     # is a string-keyed byte map (from CommTracker.summary).
                     "deterministic": {
@@ -132,6 +138,18 @@ def _validate(value, schema: dict, path: str, errors: list[str]) -> None:
     if isinstance(value, list) and "items" in schema:
         for i, item in enumerate(value):
             _validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def schema_errors(value, schema: dict, *, path: str = "$") -> list[str]:
+    """Validate ``value`` against a schema in the supported subset.
+
+    Public, generic entry point for other schema owners (the telemetry
+    run registry reuses it) — returns the error list instead of raising
+    so callers can wrap it in their own exception type.
+    """
+    errors: list[str] = []
+    _validate(value, schema, path, errors)
+    return errors
 
 
 def validate_bench(doc: dict) -> dict:

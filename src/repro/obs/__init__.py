@@ -12,12 +12,29 @@
 - :mod:`repro.obs.trace` — Chrome-trace (Perfetto) export of recorded
   runs, profiled sessions and simulated GPipe iterations, plus
   :func:`merge_traces` to render them side by side.
+- :mod:`repro.obs.telemetry` — live cross-rank telemetry: per-rank
+  :class:`TelemetryAgent` streaming over the mp backend's queue side
+  channel, parent-side :class:`Collector` sliding windows,
+  :class:`HealthMonitor` alert rules, the run registry and the
+  terminal/HTML dashboards (``python -m repro.obs top / diff / html``).
 - ``python -m repro.obs report run.jsonl`` — terminal report of a run.
 """
 
 from repro.obs.fidelity import FidelityProbe, FidelityRecord
 from repro.obs.metrics import NULL_RECORDER, NullRecorder, RunRecorder, load_jsonl
 from repro.obs.profile import OpProfiler, OpStats
+from repro.obs.telemetry import (
+    Alert,
+    Collector,
+    HealthMonitor,
+    SlidingWindow,
+    TelemetryAgent,
+    build_summary,
+    default_rules,
+    diff_runs,
+    load_run,
+    save_run,
+)
 from repro.obs.trace import (
     merge_traces,
     profiler_trace,
@@ -36,6 +53,16 @@ __all__ = [
     "FidelityRecord",
     "OpProfiler",
     "OpStats",
+    "TelemetryAgent",
+    "Collector",
+    "SlidingWindow",
+    "HealthMonitor",
+    "Alert",
+    "default_rules",
+    "build_summary",
+    "save_run",
+    "load_run",
+    "diff_runs",
     "trace_from_run",
     "simulated_iteration_trace",
     "profiler_trace",

@@ -11,6 +11,10 @@ Usage::
     python -m repro.obs mp-trace --out mp.json [--scheme A2]
                                  [--tp 2] [--pp 2] [--schedule 1f1b]
                                  [--microbatches 4] [--conc-log runs/conc]
+    python -m repro.obs top --steps 8 [--scheme A2] [--tp 2] [--pp 2]
+                            [--registry runs] [--html dash.html]
+    python -m repro.obs diff RUN_A RUN_B [--registry runs]
+    python -m repro.obs html RUN --out dash.html [--registry runs]
 
 ``report`` prints a per-run summary (gauges, phase timers, per-site
 compression fidelity when a sidecar ``*.fidelity.json`` exists) from a
@@ -27,6 +31,19 @@ setting as a Chrome trace (open in Perfetto or ``chrome://tracing``).
 execution backend with per-rank timelines enabled and merges the worker
 timelines into one Chrome trace — one track per logical rank, ``mp.wait``
 slices showing where ranks block on each other.
+
+``top`` drives a short real training loop through the mp backend with
+the live telemetry side channel enabled (``REPRO_TELEMETRY=1``) and
+renders a per-rank health dashboard after every optimizer step.  The
+final window state is saved into the run registry (``--registry``) and
+optionally as a standalone HTML snapshot (``--html``).
+
+``diff`` compares two registry runs metric-by-metric; ``html`` renders a
+saved registry run as an HTML dashboard.
+
+``mp-trace`` and ``top`` observe the multiprocess backend's side
+channels, so both refuse an inproc run (``--backend`` / the
+``REPRO_BACKEND`` environment variable) with a clear error.
 """
 
 from __future__ import annotations
@@ -184,6 +201,27 @@ def cmd_sim_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _require_mp_backend(args: argparse.Namespace, verb: str) -> str | None:
+    """Resolve the execution backend for a telemetry verb; ``None`` = refuse.
+
+    Precedence: ``--backend`` flag, then ``REPRO_BACKEND``, then ``mp``.
+    The mp side channels (per-rank timelines, the telemetry queue) do not
+    exist for an inproc run, so anything other than ``mp`` is an error —
+    printed to stderr so scripts see a clean exit 1, not a traceback.
+    """
+    backend = args.backend or os.environ.get("REPRO_BACKEND", "").strip() or "mp"
+    if backend != "mp":
+        print(
+            f"error: `repro.obs {verb}` observes the multiprocess backend's "
+            f"side channels (per-rank timelines, the telemetry queue); "
+            f"backend {backend!r} runs in-process and has none. "
+            f"Re-run with --backend mp (or unset REPRO_BACKEND).",
+            file=sys.stderr,
+        )
+        return None
+    return backend
+
+
 def cmd_mp_trace(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -192,6 +230,8 @@ def cmd_mp_trace(args: argparse.Namespace) -> int:
     from repro.parallel.backend.conclog import ENV_VAR as CONC_ENV
     from repro.training.finetune import default_accuracy_model
 
+    if _require_mp_backend(args, "mp-trace") is None:
+        return 1
     if args.conc_log:
         # Workers are spawned with an inherited environment, so setting
         # the variable here makes every rank write a per-rank event log
@@ -225,6 +265,107 @@ def cmd_mp_trace(args: argparse.Namespace) -> int:
     if args.conc_log:
         print(f"concurrency event logs -> {args.conc_log} "
               f"(replay: python -m repro.lint --race-log {args.conc_log})")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.obs.telemetry import (
+        Collector,
+        HealthMonitor,
+        build_summary,
+        render_top,
+        save_run,
+        write_html,
+    )
+    from repro.obs.telemetry.agent import ENV_VAR as TELEM_ENV
+    from repro.optim import Adam
+    from repro.parallel import ModelParallelBertClassifier, ModelParallelConfig
+    from repro.parallel.backend import create_backend
+    from repro.training.finetune import default_accuracy_model
+
+    if _require_mp_backend(args, "top") is None:
+        return 1
+    # Workers inherit the parent environment, so flipping the switch here
+    # is what makes every spawned rank stream telemetry.
+    os.environ[TELEM_ENV] = "1"
+
+    cfg = ModelParallelConfig(
+        default_accuracy_model(num_classes=2, seed=0),
+        tp=args.tp, pp=args.pp, scheme=args.scheme, seed=0, backend="mp",
+        pipeline_schedule=args.schedule, num_microbatches=args.microbatches,
+    )
+    model = ModelParallelBertClassifier(cfg)
+    rng = np.random.default_rng(0)
+    collector = Collector()
+    monitor = HealthMonitor(collector)
+    run_id = args.run_id or f"top-{args.scheme}-tp{args.tp}pp{args.pp}"
+    clear = sys.stdout.isatty()
+
+    backend = create_backend("mp", model)
+    try:
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        for step in range(args.steps):
+            input_ids = rng.integers(0, cfg.model.vocab_size,
+                                     size=(args.batch, args.seq))
+            labels = rng.integers(0, 2, size=args.batch)
+            optimizer.zero_grad()
+            result = backend.train_step(input_ids, labels, None)
+            backend.apply_grads(model, result)
+            optimizer.step()
+            backend.sync_weights(model)
+            collector.drain(backend, grace_s=0.2)
+            collector.observe(None, "loss", result.loss)
+            monitor.check(step)
+            frame = render_top(collector, monitor, step=step)
+            print(("\x1b[2J\x1b[H" if clear else "") + frame)
+            if not clear:
+                print("-" * 72)
+    finally:
+        backend.close()
+    # close() parks any late queue batches in the backlog; one more drain
+    # folds them into the final window before the summary is frozen.
+    collector.drain(backend)
+    monitor.check(args.steps)
+
+    summary = build_summary(
+        run_id, collector, monitor,
+        meta={"scheme": args.scheme, "tp": args.tp, "pp": args.pp,
+              "schedule": args.schedule, "microbatches": args.microbatches,
+              "steps": args.steps, "fault_plan": os.environ.get("REPRO_FAULT_PLAN", "")},
+    )
+    path = save_run(args.registry, summary)
+    print(f"run summary -> {path}")
+    if args.html:
+        print(f"html dashboard -> {write_html(args.html, summary)}")
+    alerts = summary["health"]["total"]
+    print(f"{args.steps} steps, {alerts} alert(s)")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import RunSchemaError, format_diff, load_run, resolve_run
+
+    try:
+        doc_a = load_run(resolve_run(args.registry, args.run_a))
+        doc_b = load_run(resolve_run(args.registry, args.run_b))
+    except (FileNotFoundError, RunSchemaError, json.JSONDecodeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_diff(doc_a, doc_b))
+    return 0
+
+
+def cmd_html(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import RunSchemaError, load_run, resolve_run, write_html
+
+    try:
+        doc = load_run(resolve_run(args.registry, args.run))
+    except (FileNotFoundError, RunSchemaError, json.JSONDecodeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"html dashboard -> {write_html(args.out, doc)}")
     return 0
 
 
@@ -271,10 +412,56 @@ def build_parser() -> argparse.ArgumentParser:
     p_mp.add_argument("--conc-log", metavar="DIR",
                       help="record per-rank concurrency event logs (DYN003 "
                            "race-detector input) into DIR")
+    p_mp.add_argument("--backend", default=None,
+                      help="execution backend (default: $REPRO_BACKEND or mp; "
+                           "anything but mp is refused)")
     p_mp.set_defaults(fn=cmd_mp_trace)
+
+    p_top = sub.add_parser(
+        "top", help="live per-rank telemetry dashboard over a short mp run")
+    p_top.add_argument("--steps", type=int, default=8)
+    p_top.add_argument("--scheme", default="A2")
+    p_top.add_argument("--tp", type=int, default=2)
+    p_top.add_argument("--pp", type=int, default=2)
+    p_top.add_argument("--batch", type=int, default=8)
+    p_top.add_argument("--seq", type=int, default=16)
+    p_top.add_argument("--schedule", choices=["gpipe", "1f1b"], default="1f1b")
+    p_top.add_argument("--microbatches", type=int, default=2)
+    p_top.add_argument("--registry", default="runs",
+                       help="run-registry directory for the final summary")
+    p_top.add_argument("--run-id", default=None,
+                       help="registry id (default: top-<scheme>-tp<T>pp<P>)")
+    p_top.add_argument("--html", metavar="PATH",
+                       help="also write a standalone HTML dashboard")
+    p_top.add_argument("--backend", default=None,
+                       help="execution backend (default: $REPRO_BACKEND or mp; "
+                            "anything but mp is refused)")
+    p_top.set_defaults(fn=cmd_top)
+
+    p_diff = sub.add_parser(
+        "diff", help="per-metric regression table between two registry runs")
+    p_diff.add_argument("run_a", help="registry run id or summary path")
+    p_diff.add_argument("run_b", help="registry run id or summary path")
+    p_diff.add_argument("--registry", default="runs")
+    p_diff.set_defaults(fn=cmd_diff)
+
+    p_html = sub.add_parser(
+        "html", help="render a saved registry run as an HTML dashboard")
+    p_html.add_argument("run", help="registry run id or summary path")
+    p_html.add_argument("--out", default="dashboard.html")
+    p_html.add_argument("--registry", default="runs")
+    p_html.set_defaults(fn=cmd_html)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream reader (e.g. ``| head``) closed stdout early; not an
+        # error. Swap in devnull so interpreter shutdown doesn't re-raise
+        # while flushing the dead pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0

@@ -39,6 +39,13 @@ class RunRecorder:
         Extra key/value context for the meta header.
     clock:
         Monotonic clock in seconds; injectable for deterministic tests.
+    stream_path:
+        Optional JSONL path written *live*: the meta header is written at
+        construction and every completed step is appended — and flushed —
+        from :meth:`end_step`, so a run killed mid-flight (chaos plans,
+        SIGKILL) retains every completed step with no truncated line.
+        :meth:`to_jsonl` still works and rewrites the file atomically
+        from the in-memory records.
     """
 
     enabled: bool = True
@@ -48,6 +55,7 @@ class RunRecorder:
         run_id: str = "run",
         meta: dict | None = None,
         clock: Callable[[], float] = time.perf_counter,
+        stream_path: str | None = None,
     ):
         self.run_id = run_id
         self.meta = dict(meta) if meta else {}
@@ -57,6 +65,14 @@ class RunRecorder:
         self._current: dict | None = None
         self._step_start = 0.0
         self._next_step = 0
+        self.stream_path = stream_path
+        self._stream = None
+        if stream_path is not None:
+            parent = os.path.dirname(os.path.abspath(stream_path))
+            os.makedirs(parent, exist_ok=True)
+            self._stream = open(stream_path, "w", encoding="utf-8")
+            self._stream.write(json.dumps(self._meta_record()) + "\n")
+            self._stream.flush()
 
     # ------------------------------------------------------------------
     # Step lifecycle
@@ -86,7 +102,18 @@ class RunRecorder:
         record["wall_ms"] = (self._clock() - self._step_start) * 1e3
         self.records.append(record)
         self._current = None
+        if self._stream is not None:
+            # One write + flush per step: a SIGKILL between steps can lose
+            # at most the step in progress, never corrupt a written line.
+            self._stream.write(json.dumps({"type": "step", **record}) + "\n")
+            self._stream.flush()
         return record
+
+    def close(self) -> None:
+        """Close the streaming sink (idempotent; no-op without one)."""
+        if self._stream is not None:
+            stream, self._stream = self._stream, None
+            stream.close()
 
     @contextlib.contextmanager
     def step(self, step: int | None = None) -> Iterator[None]:

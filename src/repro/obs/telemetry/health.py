@@ -1,0 +1,293 @@
+"""Health monitor: declarative threshold rules over collector windows.
+
+Each :class:`Rule` inspects the :class:`~repro.obs.telemetry.collector.Collector`'s
+sliding windows and yields typed :class:`Alert`s naming the rank, site,
+and window that tripped.  Rules are declarative data (thresholds in the
+constructor) so the default battery can be tuned per deployment without
+touching evaluation logic.
+
+The straggler rule uses a **leave-one-out** z-score on per-rank *busy*
+time (wall − comm-wait): with a 4-rank gang a plain population z-score
+is bounded by √3 ≈ 1.73, so a conventional z>2 threshold could never
+fire.  Scoring each rank against the statistics of the *other* ranks
+removes the self-inflation, and busy time (rather than wall time) is the
+right signal because a straggler's peers absorb its delay as barrier
+wait inside their own wall time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+from repro.obs.telemetry.collector import Collector
+
+__all__ = [
+    "Alert",
+    "Rule",
+    "StragglerRule",
+    "CommStallRule",
+    "RetryStormRule",
+    "FidelityDriftRule",
+    "LossRule",
+    "HealthMonitor",
+    "default_rules",
+]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One typed finding: which rule fired, where, and on what evidence."""
+
+    rule: str
+    severity: str  # "warning" | "critical"
+    message: str
+    rank: int | None = None
+    site: str | None = None
+    step: int | None = None
+    value: float | None = None
+    threshold: float | None = None
+    window: int | None = None
+
+    def to_json(self) -> dict:
+        return {k: v for k, v in asdict(self).items() if v is not None}
+
+
+class Rule:
+    """Base class: subclasses override :meth:`evaluate`."""
+
+    name = "rule"
+
+    def evaluate(self, collector: Collector, step: int | None) -> list[Alert]:
+        raise NotImplementedError
+
+
+class StragglerRule(Rule):
+    """A rank whose busy time stands out from its peers' (leave-one-out z).
+
+    Fires when a rank's windowed mean busy time exceeds the mean of the
+    other ranks' means by ``zscore`` leave-one-out standard deviations
+    *and* by at least ``min_gap_ms`` absolute — the floor keeps noise on
+    microsecond-scale steps from alerting, and ``std_floor_ms`` keeps a
+    near-zero peer spread from dividing the z to infinity.
+    """
+
+    name = "straggler"
+
+    def __init__(self, *, zscore: float = 3.0, min_gap_ms: float = 10.0,
+                 std_floor_ms: float = 1.0, min_samples: int = 2):
+        self.zscore = zscore
+        self.min_gap_ms = min_gap_ms
+        self.std_floor_ms = std_floor_ms
+        self.min_samples = min_samples
+
+    def evaluate(self, collector: Collector, step: int | None) -> list[Alert]:
+        ranks = collector.ranks()
+        if len(ranks) < 3:  # leave-one-out needs >= 2 peers for a spread
+            return []
+        means: dict[int, float] = {}
+        window = 0
+        for rank in ranks:
+            win = collector.series(rank, "busy_ms")
+            if len(win) < self.min_samples:
+                return []
+            means[rank] = win.mean()
+            window = max(window, len(win))
+        alerts = []
+        for rank in ranks:
+            peers = [means[r] for r in ranks if r != rank]
+            mu = sum(peers) / len(peers)
+            sigma = math.sqrt(sum((v - mu) ** 2 for v in peers) / len(peers))
+            sigma = max(sigma, self.std_floor_ms)
+            gap = means[rank] - mu
+            z = gap / sigma
+            if z > self.zscore and gap > self.min_gap_ms:
+                alerts.append(Alert(
+                    rule=self.name, severity="warning", rank=rank, step=step,
+                    value=round(z, 3), threshold=self.zscore, window=window,
+                    message=(f"rank {rank} busy time {means[rank]:.1f} ms is "
+                             f"{gap:.1f} ms above peers (z={z:.1f}, "
+                             f"window={window})"),
+                ))
+        return alerts
+
+
+class CommStallRule(Rule):
+    """A rank spending most of its step waiting on the transport."""
+
+    name = "comm-stall"
+
+    def __init__(self, *, ratio: float = 3.0, min_wait_ms: float = 5.0,
+                 min_samples: int = 2):
+        self.ratio = ratio
+        self.min_wait_ms = min_wait_ms
+        self.min_samples = min_samples
+
+    def evaluate(self, collector: Collector, step: int | None) -> list[Alert]:
+        alerts = []
+        for rank in collector.ranks():
+            wait = collector.series(rank, "comm_wait_ms")
+            busy = collector.series(rank, "busy_ms")
+            if len(wait) < self.min_samples or len(busy) < self.min_samples:
+                continue
+            wait_mean = wait.mean()
+            busy_mean = max(busy.mean(), 1e-9)
+            ratio = wait_mean / busy_mean
+            if ratio > self.ratio and wait_mean > self.min_wait_ms:
+                alerts.append(Alert(
+                    rule=self.name, severity="warning", rank=rank, step=step,
+                    value=round(ratio, 3), threshold=self.ratio,
+                    window=len(wait),
+                    message=(f"rank {rank} comm-wait/busy ratio {ratio:.1f} "
+                             f"(wait {wait_mean:.1f} ms vs busy "
+                             f"{busy_mean:.1f} ms, window={len(wait)})"),
+                ))
+        return alerts
+
+
+class RetryStormRule(Rule):
+    """Fault-seam retries/drops accumulating faster than a healthy link."""
+
+    name = "retry-storm"
+
+    def __init__(self, *, max_events: int = 8):
+        self.max_events = max_events
+
+    def evaluate(self, collector: Collector, step: int | None) -> list[Alert]:
+        alerts = []
+        for rank in collector.ranks():
+            retries = collector.series(rank, "retries")
+            drops = collector.series(rank, "drops")
+            total = sum(retries.values()) + sum(drops.values())
+            if total > self.max_events:
+                alerts.append(Alert(
+                    rule=self.name, severity="critical", rank=rank, step=step,
+                    value=float(total), threshold=float(self.max_events),
+                    window=max(len(retries), len(drops)),
+                    message=(f"rank {rank} saw {int(total)} transport "
+                             f"retries/drops in the window "
+                             f"(limit {self.max_events})"),
+                ))
+        return alerts
+
+
+class FidelityDriftRule(Rule):
+    """A compression site's reconstruction error drifting upward online.
+
+    Compares the newer half of the window against the older half: drift
+    means recent rel-L2 is ``factor``× the established level — the signal
+    the activation-quantization-with-guarantees line of work says must be
+    watched *during* training, not post-hoc.
+    """
+
+    name = "fidelity-drift"
+
+    def __init__(self, *, factor: float = 2.0, min_samples: int = 6,
+                 floor: float = 1e-12):
+        self.factor = factor
+        self.min_samples = min_samples
+        self.floor = floor
+
+    def evaluate(self, collector: Collector, step: int | None) -> list[Alert]:
+        alerts = []
+        for site in collector.sites():
+            win = collector.series(None, f"fidelity/{site}/rel_l2")
+            values = win.values()
+            if len(values) < self.min_samples:
+                continue
+            half = len(values) // 2
+            older = values[:half]
+            newer = values[half:]
+            old_mean = max(sum(older) / len(older), self.floor)
+            new_mean = sum(newer) / len(newer)
+            ratio = new_mean / old_mean
+            if ratio > self.factor:
+                alerts.append(Alert(
+                    rule=self.name, severity="warning", site=site, step=step,
+                    value=round(ratio, 3), threshold=self.factor,
+                    window=len(values),
+                    message=(f"site {site} rel-L2 drifted {ratio:.1f}x "
+                             f"({old_mean:.2e} -> {new_mean:.2e}, "
+                             f"window={len(values)})"),
+                ))
+        return alerts
+
+
+class LossRule(Rule):
+    """Loss went NaN/Inf (critical) or diverged from its window minimum."""
+
+    name = "loss"
+
+    def __init__(self, *, divergence_factor: float = 2.0, min_samples: int = 4):
+        self.divergence_factor = divergence_factor
+        self.min_samples = min_samples
+
+    def evaluate(self, collector: Collector, step: int | None) -> list[Alert]:
+        win = collector.series(None, "loss")
+        last = win.last
+        if last is None:
+            return []
+        if math.isnan(last) or math.isinf(last):
+            return [Alert(
+                rule=self.name, severity="critical", step=step, value=last,
+                window=len(win),
+                message=f"loss is non-finite ({last}) at step {step}",
+            )]
+        if len(win) < self.min_samples:
+            return []
+        lo = win.min()
+        if lo > 0 and last > self.divergence_factor * lo:
+            return [Alert(
+                rule=self.name, severity="warning", step=step,
+                value=round(last, 6),
+                threshold=round(self.divergence_factor * lo, 6),
+                window=len(win),
+                message=(f"loss {last:.4f} is {last / lo:.1f}x the window "
+                         f"minimum {lo:.4f} (window={len(win)})"),
+            )]
+        return []
+
+
+def default_rules() -> list[Rule]:
+    return [StragglerRule(), CommStallRule(), RetryStormRule(),
+            FidelityDriftRule(), LossRule()]
+
+
+class HealthMonitor:
+    """Evaluates a rule battery against a collector; deduplicates alerts.
+
+    An alert identity is ``(rule, rank, site)``: a condition that stays
+    tripped across consecutive checks produces one alert when it first
+    fires and a fresh one only after it clears and re-fires — so a
+    50-step straggler is one finding, not 50.
+    """
+
+    def __init__(self, collector: Collector, rules: list[Rule] | None = None):
+        self.collector = collector
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.alerts: list[Alert] = []
+        self._active: set[tuple[str, int | None, str | None]] = set()
+
+    def check(self, step: int | None = None) -> list[Alert]:
+        """Run every rule once; returns only *newly fired* alerts."""
+        fired: list[Alert] = []
+        now_active: set[tuple[str, int | None, str | None]] = set()
+        for rule in self.rules:
+            for alert in rule.evaluate(self.collector, step):
+                key = (alert.rule, alert.rank, alert.site)
+                now_active.add(key)
+                if key not in self._active:
+                    fired.append(alert)
+        self._active = now_active
+        self.alerts.extend(fired)
+        return fired
+
+    def summary(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for alert in self.alerts:
+            by_rule[alert.rule] = by_rule.get(alert.rule, 0) + 1
+        return {
+            "total": len(self.alerts),
+            "by_rule": by_rule,
+            "alerts": [a.to_json() for a in self.alerts],
+        }

@@ -307,10 +307,19 @@ def worker_timelines_trace(timelines: dict[int, list[dict]],
     above the rank's compute slices, making the comm/compute overlap
     visible (and measurable) in Perfetto.
     """
-    run_id = (meta or {}).get("run_id", "mp step")
+    meta = meta or {}
+    run_id = meta.get("run_id", "mp step")
     b = _TraceBuilder(f"mp workers: {run_id}")
+    # With the layout in meta each track carries the rank's TP×PP
+    # coordinate ("rank 3 · tp1/pp1"), so Perfetto shows the gang
+    # topology instead of bare rank numbers; without it (old callers,
+    # hand-built metas) tracks degrade to the plain rank label.
+    tp = meta.get("tp")
     for rank in sorted(timelines):
-        track = f"rank{rank}"
+        if isinstance(tp, int) and tp > 0:
+            track = f"rank {rank} · tp{rank % tp}/pp{rank // tp}"
+        else:
+            track = f"rank{rank}"
         for span in timelines[rank]:
             if span["cat"] == "mp.async":
                 b.async_span(track, span["name"], "mp.async", span["ts_ms"],

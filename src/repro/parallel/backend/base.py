@@ -91,6 +91,16 @@ class ExecutionBackend:
     def load_runtime_state(self, state: dict) -> None:
         """Restore compressor runtime state captured by :meth:`runtime_state`."""
 
+    def poll_telemetry(self) -> list[dict]:
+        """Drain pending live-telemetry events from the rank side channel.
+
+        Returns ``[]`` for backends without one (inproc ranks run in the
+        caller's process — there is nothing to stream) and whenever
+        ``REPRO_TELEMETRY`` is off.  The mp backend overrides this with a
+        non-blocking drain of its telemetry queue.
+        """
+        return []
+
     def close(self) -> None:
         """Release processes/shared memory. Idempotent."""
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import queue as queue_mod
 import re
 import time
 from multiprocessing import connection as mp_connection
@@ -60,6 +61,8 @@ class MpBackend(ExecutionBackend):
         self._conns: list = []
         self.transport = None
         self.shutdown_timeout = shutdown_timeout
+        self._telemetry_queue = None
+        self._telemetry_backlog: list[dict] = []
 
         cfg = model.config
         if cfg.model.dropout != 0.0:
@@ -90,6 +93,15 @@ class MpBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def _spawn_workers(self, model, timeout: float) -> None:
         spawn = multiprocessing.get_context("spawn")
+        # Telemetry side channel: one queue shared by all ranks, created
+        # only when REPRO_TELEMETRY is armed so the healthy path never
+        # pays for a feeder thread.  Workers re-check the env var (it is
+        # inherited through the spawn context) before building an agent.
+        from repro.obs.telemetry.agent import enabled as telemetry_enabled
+        from repro.obs.telemetry.agent import telemetry_queue
+
+        if telemetry_enabled():
+            self._telemetry_queue = telemetry_queue(spawn)
         kwargs = {}
         if hasattr(model, "regression"):
             kwargs["regression"] = model.regression
@@ -103,7 +115,7 @@ class MpBackend(ExecutionBackend):
                 proc = spawn.Process(
                     target=_worker_main,
                     args=(child_conn, self.transport.spec, rank_info,
-                          model_spec, timeout),
+                          model_spec, timeout, self._telemetry_queue),
                     daemon=True,
                     name=f"repro-rank{global_rank(stage, tp_rank, self.tp)}",
                 )
@@ -294,6 +306,51 @@ class MpBackend(ExecutionBackend):
         self._send_all(("load_runtime_state", state))
 
     # ------------------------------------------------------------------
+    def poll_telemetry(self) -> list[dict]:
+        """Non-blocking drain of the telemetry side channel.
+
+        Returns every event published by the rank agents since the last
+        poll, in queue order.  Empty when telemetry is off.  Queue
+        delivery runs through per-worker feeder threads, so events for a
+        completed step may trail its result by a moment — end-of-run
+        consumers should poll with a grace period (see
+        :meth:`repro.obs.telemetry.collector.Collector.drain`).
+        """
+        events = list(self._telemetry_backlog)
+        self._telemetry_backlog.clear()
+        q = self._telemetry_queue
+        while q is not None:
+            try:
+                events.extend(q.get_nowait())
+            except (queue_mod.Empty, OSError, ValueError):
+                break
+        return events
+
+    def _drain_telemetry_to_backlog(self) -> None:
+        """Preserve in-flight telemetry across teardown.
+
+        Called from :meth:`close` after the workers have exited (their
+        feeder threads flush at process exit), so anything still in the
+        pipe is moved to a parent-side list and remains observable via
+        :meth:`poll_telemetry` after the queue itself is gone.
+        """
+        q = self._telemetry_queue
+        if q is None:
+            return
+        deadline = time.monotonic() + 0.25
+        while time.monotonic() < deadline:
+            try:
+                self._telemetry_backlog.extend(q.get_nowait())
+                deadline = time.monotonic() + 0.25
+            except (queue_mod.Empty, OSError, ValueError):
+                time.sleep(0.005)
+        self._telemetry_queue = None
+        try:
+            q.close()
+        except (OSError, ValueError):
+            pass
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Tear the gang down; bounded, idempotent, leak-free.
 
@@ -332,6 +389,7 @@ class MpBackend(ExecutionBackend):
                     conn.close()
                 except OSError:
                     pass
+            self._drain_telemetry_to_backlog()
         finally:
             transport = getattr(self, "transport", None)
             if transport is not None:

@@ -293,6 +293,16 @@ class ShmChannel:
         self._status[slot][0] = _EMPTY
         return out
 
+    def occupancy(self) -> int:
+        """Number of FULL slots right now (observer-safe, racy by design).
+
+        A pure read of the status words — no protocol state is touched, so
+        any attached party (including the telemetry agent mid-step) can
+        sample ring backlog without perturbing the sender/receiver.  The
+        value is a snapshot: slots may flip concurrently.
+        """
+        return sum(int(status[0] == _FULL) for status in self._status)
+
     def try_send(self, arr: np.ndarray) -> bool:
         """Non-blocking send: commit if the target slot is EMPTY, else False.
 
@@ -699,6 +709,15 @@ class RankTransport:
         caller reduces in deterministic rank order.
         """
         return self.exchange_issue(peers, arr, timeout=timeout).wait(timeout)
+
+    def ring_occupancy(self) -> dict[tuple[int, int], int]:
+        """FULL-slot count per directed mailbox this rank touches.
+
+        Telemetry gauge: sustained high occupancy on an incoming ring
+        means this rank is the consumer lagging its producer.  Snapshot
+        semantics (see :meth:`ShmChannel.occupancy`).
+        """
+        return {key: ch.occupancy() for key, ch in self._channels.items()}
 
     def barrier_wait(self, timeout: float = DEFAULT_TIMEOUT_S) -> int:
         start = _now()

@@ -190,7 +190,7 @@ def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
 
 
 def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
-                 timeout: float) -> None:
+                 timeout: float, telemetry_q=None) -> None:
     """Process target: attach transport, build the replica, serve commands.
 
     ``rank_info`` carries tp/pp/tp_rank/stage; ``model_spec`` carries the
@@ -207,6 +207,15 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
     # Fault plan (chaos injection): also purely env-gated; the env var is
     # inherited from the parent through the spawn context.
     fault_plan = faults.maybe_install_from_env()
+    # Live telemetry (REPRO_TELEMETRY): the parent only passes a queue
+    # when the env var is set, and the agent import stays off the healthy
+    # startup path otherwise.
+    telem = None
+    if telemetry_q is not None:
+        from repro.obs.telemetry.agent import maybe_agent_from_env
+
+        telem = maybe_agent_from_env(
+            rank, world=rank_info["tp"] * rank_info["pp"], sink=telemetry_q)
     steps_done = 0
     try:
         transport = RankTransport(spec, rank)
@@ -220,6 +229,8 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
             overlap=rank_info.get("overlap", True),
         )
         set_rank_context(ctx)
+        if telem is not None:
+            telem.watch(model.tracker)
         conn.send(("ready", rank))
         while True:
             msg = conn.recv()
@@ -240,6 +251,12 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
                     backbone.load_runtime_state_dict(msg[1])
             elif cmd == "step":
                 _, input_ids, labels, attention_mask, collect = msg
+                # Stamped before fault injection so a planned straggler
+                # delay lands in this rank's wall (and busy) time instead
+                # of disappearing between commands.
+                t_step_start = time.monotonic()
+                if telem is not None:
+                    telem.begin_step(steps_done)
                 if fault_plan is not None:
                     fault_plan.set_step(steps_done)
                     spec = fault_plan.take_step_fault(rank, steps_done)
@@ -251,6 +268,9 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
                         if conc is not None:
                             conc.emit("fault", fault="kill", step=steps_done)
                             conc.flush()
+                        if telem is not None:
+                            telem.emit("fault", kind="kill", step=steps_done)
+                            telem.publish()
                         conn.close()
                         os._exit(faults.KILL_EXIT_CODE)
                     if spec is not None and spec.kind == "delay":
@@ -258,15 +278,30 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
                             conc.emit("fault", fault="delay", step=steps_done,
                                       seconds=spec.seconds)
                         time.sleep(spec.seconds)
-                result = _spmd_step(model, ctx, input_ids, labels,
-                                    attention_mask, collect)
+                # Telemetry needs the span timeline (comm-wait decomposes
+                # the step) even when the parent didn't ask for traces.
+                loss_val, grads, events, timeline = _spmd_step(
+                    model, ctx, input_ids, labels, attention_mask,
+                    collect or telem is not None)
                 if conc is not None:
                     # Flush after every step so a crashed run still leaves
                     # a replayable event-log prefix on disk.
                     conc.emit("step_end", step=steps_done)
                     conc.flush()
+                if telem is not None:
+                    # Emit-before-publish: the step's telemetry is on the
+                    # side channel before the result that makes the step
+                    # observable goes over the control pipe.
+                    telem.record_step(steps_done, t_step_start, loss=loss_val,
+                                      timeline=timeline, transport=transport,
+                                      plan=fault_plan)
+                    telem.publish()
                 steps_done += 1
-                conn.send(("result", rank, *result))
+                # The timeline only travels the control pipe when the
+                # parent asked for traces; a telemetry-forced one was
+                # summarized above and is stripped here.
+                conn.send(("result", rank, loss_val, grads, events,
+                           timeline if collect else []))
             else:
                 raise RuntimeError(f"unknown command {cmd!r}")
     except EOFError:

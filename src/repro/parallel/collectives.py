@@ -517,6 +517,17 @@ def _tp_all_reduce_spmd_issue(
                               code_bytes, world, shape, layer, site)
                 )
             out = compressor.decode(code_sum)
+            if tracker.probe is not None:
+                # Same measurement as the oracle path: AE compresses the
+                # sum, so fidelity is judged on the reduced activation.
+                # Pure reads of already-exchanged data — bitwise-neutral.
+                tracker.probe.observe(
+                    site=_site_label(site, layer),
+                    scheme=compressor.name, group="tp",
+                    original=_sum_rank_order(gathered, peers),
+                    reconstructed=out.data,
+                    wire_bytes=code_bytes, dense_bytes=dense_bytes(shape),
+                )
             return _with_backward_event(
                 out, tracker,
                 CommEvent("all_reduce", "tp", "backward", compressor.name,
@@ -531,6 +542,16 @@ def _tp_all_reduce_spmd_issue(
     # per-rank site key the oracle uses, then exchange reconstructions.
     rank_site = _rank_site(site, layer, ctx.tp_rank)
     rec = compressor.apply(own, site=rank_site)
+    if tracker.probe is not None:
+        # Each worker observes exactly the per-rank site it owns — the
+        # slice of the oracle's per-rank observations local data covers.
+        tracker.probe.observe(
+            site=rank_site, scheme=compressor.name, group="tp",
+            original=own.data, reconstructed=rec.data,
+            wire_bytes=compressor.compressed_bytes(shape),
+            dense_bytes=dense_bytes(shape),
+            residual=_residual_of(compressor, rank_site),
+        )
     wire = ctx.transport.exchange_issue(
         peers, rec.data, timeout=ctx.timeout,
         label=_async_label("allgather", site, layer))
@@ -628,7 +649,15 @@ def pipeline_transfer_issue(
         if _is_identity(compressor):
             out = x
         else:
-            out = compressor.apply(x, site=f"boundary{boundary}")
+            boundary_site = f"boundary{boundary}"
+            out = compressor.apply(x, site=boundary_site)
+            if tracker.probe is not None:
+                tracker.probe.observe(
+                    site=boundary_site, scheme=scheme, group="pp",
+                    original=x.data, reconstructed=out.data,
+                    wire_bytes=fwd_bytes, dense_bytes=dense_bytes(shape),
+                    residual=_residual_of(compressor, boundary_site),
+                )
         out = _with_backward_event(
             out, tracker,
             CommEvent("send", "pp", "backward", scheme, bwd_bytes, 2, shape,

@@ -73,6 +73,8 @@ def finetune_on_task(
     backbone_state: dict[str, np.ndarray] | None = None,
     recorder: RunRecorder = NULL_RECORDER,
     probe: FidelityProbe | None = None,
+    collector=None,
+    monitor=None,
 ) -> FinetuneResult:
     """Fine-tune a fresh (or pre-trained) MP model on one synthetic GLUE task.
 
@@ -88,6 +90,10 @@ def finetune_on_task(
         Optional :class:`~repro.obs.fidelity.FidelityProbe`; when given it
         is attached to the model's :class:`CommTracker` and receives every
         compressed round-trip at every TP site and PP boundary.
+    collector / monitor:
+        Optional live-telemetry pair (:class:`~repro.obs.telemetry.Collector`,
+        :class:`~repro.obs.telemetry.HealthMonitor`) serviced once per
+        training step; see :class:`FineTuneTrainer`.
     """
     spec = GLUE_TASKS[task_name]
     model_cfg = default_accuracy_model(
@@ -118,7 +124,8 @@ def finetune_on_task(
         backend = create_backend(mp_cfg.backend, model)
     try:
         trainer = FineTuneTrainer(model, train_config, recorder=recorder,
-                                  backend=backend)
+                                  backend=backend, collector=collector,
+                                  monitor=monitor)
         history = trainer.train(train)
     finally:
         if backend is not None:

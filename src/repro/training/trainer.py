@@ -54,22 +54,45 @@ class FineTuneTrainer:
     forward/backward through worker processes (the mp backend); the default
     (``backend=None``) keeps the historical in-process path, loss/grads
     bitwise-identical by design.
+
+    An optional live-telemetry pair — a
+    :class:`~repro.obs.telemetry.Collector` and a
+    :class:`~repro.obs.telemetry.HealthMonitor` — is serviced once per
+    step: the backend's side channel is drained into the collector
+    (inproc backends yield nothing), the step loss is observed on the
+    pooled series, and the monitor's rules are checked.  Both default to
+    ``None`` and cost nothing when absent.
     """
 
     def __init__(self, model, config: TrainConfig, recorder: RunRecorder = NULL_RECORDER,
-                 backend=None):
+                 backend=None, collector=None, monitor=None):
         self.model = model
         self.config = config
         self.optimizer = Adam(model.parameters(), lr=config.lr)
         self.history: list[float] = []
         self.recorder = recorder
         self.backend = backend
+        self.collector = collector
+        self.monitor = monitor
         self.schedule = None
         self.rng = None
         self.global_step = 0
         self._epoch = 0
         self._step_in_epoch = 0
         self._epoch_rng_state: dict | None = None
+
+    def _observe_telemetry(self, loss_val: float) -> None:
+        """Per-step collector/monitor service (no-op when not configured)."""
+        coll = self.collector
+        if coll is None:
+            return
+        if self.backend is not None:
+            coll.drain(self.backend)
+        # The pooled loss series exists for both backends: inproc runs get
+        # loss health rules (NaN/divergence) even without a side channel.
+        coll.observe(None, "loss", loss_val)
+        if self.monitor is not None:
+            self.monitor.check(self.global_step)
 
     def _backend_step(self, batch) -> float:
         """One step through the execution backend's step protocol."""
@@ -198,6 +221,7 @@ class FineTuneTrainer:
                     rec.gauge("loss", loss_val)
                     rec.count("samples", len(batch.labels))
                     self.history.append(loss_val)
+                self._observe_telemetry(loss_val)
                 self.global_step += 1
                 self._epoch = epoch
                 self._step_in_epoch = step_in_epoch + 1

@@ -97,3 +97,59 @@ class TestSmoke:
         assert main(["report", str(jsonl)]) == 0
         out = capsys.readouterr().out
         assert "Compression fidelity" in out
+
+
+class TestTelemetryVerbs:
+    """The mp-only guards and the registry-backed diff/html verbs."""
+
+    def test_mp_trace_refuses_inproc_backend_flag(self, capsys):
+        assert main(["mp-trace", "--backend", "inproc"]) == 1
+        err = capsys.readouterr().err
+        assert "inproc" in err and "--backend mp" in err
+
+    def test_top_refuses_inproc_backend_flag(self, capsys):
+        assert main(["top", "--backend", "inproc"]) == 1
+        assert "repro.obs top" in capsys.readouterr().err
+
+    def test_top_refuses_repro_backend_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "inproc")
+        assert main(["top"]) == 1
+        assert "REPRO_BACKEND" in capsys.readouterr().err
+
+    def test_backend_flag_overrides_env(self, capsys, monkeypatch):
+        # --backend mp beats REPRO_BACKEND=inproc; the guard passes and the
+        # run proceeds (not exercised here — just assert the guard alone).
+        from repro.obs.cli import _require_mp_backend
+        import argparse
+
+        monkeypatch.setenv("REPRO_BACKEND", "inproc")
+        args = argparse.Namespace(backend="mp")
+        assert _require_mp_backend(args, "top") == "mp"
+
+    def test_diff_renders_registry_runs(self, tmp_path, capsys):
+        from repro.obs.telemetry import (
+            Collector, HealthMonitor, build_summary, save_run,
+        )
+
+        registry = str(tmp_path / "runs")
+        for run_id, wall in (("run-a", 10.0), ("run-b", 20.0)):
+            coll = Collector()
+            coll.ingest({"type": "meta", "rank": 0, "t": 0.0, "world": 1,
+                         "sample_every": 1})
+            coll.ingest({"type": "step", "rank": 0, "t": 0.0, "step": 0,
+                         "wall_ms": wall, "comm_wait_ms": 1.0,
+                         "busy_ms": wall - 1.0, "fault_ms": 0.0,
+                         "ring_occupancy": 0, "retries": 0, "drops": 0,
+                         "delays": 0, "peak_rss_kb": 100.0})
+            save_run(registry, build_summary(run_id, coll, HealthMonitor(coll)))
+        assert main(["diff", "run-a", "run-b", "--registry", registry]) == 0
+        out = capsys.readouterr().out
+        assert "run-a vs run-b" in out and "pooled/wall_ms/p50" in out
+
+    def test_diff_missing_run_exits_1(self, tmp_path, capsys):
+        assert main(["diff", "a", "b", "--registry", str(tmp_path)]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_html_missing_run_exits_1(self, tmp_path, capsys):
+        assert main(["html", "nope", "--registry", str(tmp_path)]) == 1
+        assert "not found" in capsys.readouterr().err

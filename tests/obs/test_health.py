@@ -1,0 +1,195 @@
+"""HealthMonitor rules: firing boundaries, alert payloads, deduplication."""
+
+import math
+
+import pytest
+
+from repro.obs.telemetry import (
+    Alert,
+    Collector,
+    CommStallRule,
+    FidelityDriftRule,
+    HealthMonitor,
+    LossRule,
+    RetryStormRule,
+    StragglerRule,
+)
+
+
+def collector_with_busy(busy_by_rank, samples=2):
+    """Collector whose per-rank busy_ms windows hold flat values."""
+    coll = Collector()
+    for rank, busy in busy_by_rank.items():
+        for _ in range(samples):
+            coll.observe(rank, "busy_ms", busy)
+    coll._ranks.update(busy_by_rank)  # normally set by step ingestion
+    return coll
+
+
+class TestStragglerRule:
+    def test_fires_on_clear_straggler_naming_the_rank(self):
+        coll = collector_with_busy({0: 10.0, 1: 60.0, 2: 10.0, 3: 10.0})
+        (alert,) = StragglerRule().evaluate(coll, step=5)
+        assert alert.rule == "straggler" and alert.rank == 1
+        assert alert.step == 5 and alert.window == 2
+        assert "rank 1" in alert.message
+
+    def test_gap_at_min_gap_boundary_does_not_fire(self):
+        # Peer spread is zero so sigma hits the 1 ms floor and z = gap;
+        # gap == min_gap must NOT fire (strict inequality), epsilon above must.
+        rule = StragglerRule(zscore=3.0, min_gap_ms=10.0, std_floor_ms=1.0)
+        at = collector_with_busy({0: 5.0, 1: 5.0, 2: 5.0, 3: 15.0})
+        assert rule.evaluate(at, step=0) == []
+        above = collector_with_busy({0: 5.0, 1: 5.0, 2: 5.0, 3: 15.01})
+        assert len(rule.evaluate(above, step=0)) == 1
+
+    def test_zscore_boundary(self):
+        # Wide peer spread keeps z below threshold even with a large gap.
+        rule = StragglerRule(zscore=3.0, min_gap_ms=1.0, std_floor_ms=1.0)
+        coll = collector_with_busy({0: 10.0, 1: 40.0, 2: 70.0, 3: 90.0})
+        assert rule.evaluate(coll, step=0) == []
+
+    def test_leave_one_out_beats_population_z_ceiling(self):
+        # With n=4 a plain population z-score is bounded by sqrt(3) < 3, so
+        # this rule could never fire without leave-one-out scoring.
+        coll = collector_with_busy({0: 10.0, 1: 10.0, 2: 10.0, 3: 100.0})
+        (alert,) = StragglerRule(zscore=3.0).evaluate(coll, step=0)
+        assert alert.rank == 3
+        assert alert.value > math.sqrt(3)
+
+    def test_needs_three_ranks_and_min_samples(self):
+        rule = StragglerRule()
+        two = collector_with_busy({0: 10.0, 1: 100.0})
+        assert rule.evaluate(two, step=0) == []
+        thin = collector_with_busy({0: 10.0, 1: 10.0, 2: 100.0}, samples=1)
+        assert rule.evaluate(thin, step=0) == []
+
+
+class TestCommStallRule:
+    def make(self, wait, busy):
+        coll = Collector()
+        for _ in range(2):
+            coll.observe(0, "comm_wait_ms", wait)
+            coll.observe(0, "busy_ms", busy)
+        coll._ranks.add(0)
+        return coll
+
+    def test_fires_above_ratio(self):
+        (alert,) = CommStallRule(ratio=3.0).evaluate(self.make(31.0, 10.0), step=1)
+        assert alert.rule == "comm-stall" and alert.rank == 0
+        assert alert.value == pytest.approx(3.1)
+
+    def test_ratio_at_threshold_does_not_fire(self):
+        assert CommStallRule(ratio=3.0).evaluate(self.make(30.0, 10.0), step=1) == []
+
+    def test_small_absolute_wait_is_ignored(self):
+        # Ratio is huge but the wait is microscopic: min_wait_ms gates it.
+        assert CommStallRule(ratio=3.0, min_wait_ms=5.0).evaluate(
+            self.make(4.0, 0.1), step=1) == []
+
+
+class TestRetryStormRule:
+    def make(self, retries, drops=0):
+        coll = Collector()
+        coll.observe(0, "retries", retries)
+        coll.observe(0, "drops", drops)
+        coll._ranks.add(0)
+        return coll
+
+    def test_fires_critical_above_limit(self):
+        (alert,) = RetryStormRule(max_events=8).evaluate(self.make(6, 3), step=2)
+        assert alert.severity == "critical"
+        assert alert.value == 9.0
+
+    def test_at_limit_does_not_fire(self):
+        assert RetryStormRule(max_events=8).evaluate(self.make(8), step=2) == []
+
+
+class TestFidelityDriftRule:
+    def make(self, values):
+        coll = Collector()
+        for v in values:
+            coll.observe(None, "fidelity/boundary0/rel_l2", v)
+        return coll
+
+    def test_fires_when_newer_half_drifts(self):
+        coll = self.make([1e-3, 1e-3, 1e-3, 3e-3, 3e-3, 3e-3])
+        (alert,) = FidelityDriftRule(factor=2.0, min_samples=6).evaluate(coll, step=9)
+        assert alert.rule == "fidelity-drift" and alert.site == "boundary0"
+        assert alert.value == pytest.approx(3.0)
+
+    def test_factor_at_threshold_does_not_fire(self):
+        coll = self.make([1e-3] * 3 + [2e-3] * 3)
+        assert FidelityDriftRule(factor=2.0, min_samples=6).evaluate(coll, 9) == []
+
+    def test_flat_series_is_healthy(self):
+        coll = self.make([1e-3] * 8)
+        assert FidelityDriftRule().evaluate(coll, step=9) == []
+
+    def test_too_few_samples_never_fires(self):
+        coll = self.make([1e-3, 1e-2])
+        assert FidelityDriftRule(min_samples=6).evaluate(coll, step=9) == []
+
+
+class TestLossRule:
+    def make(self, losses):
+        coll = Collector()
+        for v in losses:
+            coll.observe(None, "loss", v)
+        return coll
+
+    def test_nan_is_critical_regardless_of_history(self):
+        (alert,) = LossRule().evaluate(self.make([float("nan")]), step=0)
+        assert alert.severity == "critical"
+        assert "non-finite" in alert.message
+
+    def test_divergence_from_window_minimum(self):
+        coll = self.make([1.0, 0.9, 0.8, 2.0])
+        (alert,) = LossRule(divergence_factor=2.0).evaluate(coll, step=3)
+        assert alert.severity == "warning"
+        assert alert.value == 2.0
+
+    def test_factor_at_threshold_does_not_fire(self):
+        assert LossRule(divergence_factor=2.0).evaluate(
+            self.make([1.0, 1.0, 1.0, 2.0]), step=3) == []
+
+    def test_descending_loss_is_healthy(self):
+        assert LossRule().evaluate(self.make([2.0, 1.5, 1.0, 0.8]), step=3) == []
+
+
+class TestHealthMonitorDedup:
+    def test_persistent_condition_alerts_once(self):
+        coll = Collector()
+        monitor = HealthMonitor(coll, rules=[LossRule()])
+        coll.observe(None, "loss", float("nan"))
+        assert len(monitor.check(step=0)) == 1
+        # Condition still tripped on the next checks: no re-fire.
+        assert monitor.check(step=1) == []
+        assert monitor.check(step=2) == []
+        assert len(monitor.alerts) == 1
+
+    def test_refires_after_clearing(self):
+        coll = Collector()
+        monitor = HealthMonitor(coll, rules=[LossRule()])
+        coll.observe(None, "loss", float("nan"))
+        assert len(monitor.check(step=0)) == 1
+        coll.observe(None, "loss", 1.0)  # healthy again
+        assert monitor.check(step=1) == []
+        coll.observe(None, "loss", float("inf"))
+        assert len(monitor.check(step=2)) == 1
+        assert len(monitor.alerts) == 2
+
+    def test_summary_counts_by_rule(self):
+        coll = collector_with_busy({0: 10.0, 1: 60.0, 2: 10.0, 3: 10.0})
+        monitor = HealthMonitor(coll)  # default battery
+        monitor.check(step=0)
+        summary = monitor.summary()
+        assert summary["total"] == len(summary["alerts"]) >= 1
+        assert summary["by_rule"]["straggler"] == 1
+        assert summary["alerts"][0]["rule"]
+
+    def test_alert_json_drops_none_fields(self):
+        alert = Alert(rule="x", severity="warning", message="m", rank=1)
+        payload = alert.to_json()
+        assert payload == {"rule": "x", "severity": "warning",
+                           "message": "m", "rank": 1}

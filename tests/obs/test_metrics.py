@@ -2,6 +2,7 @@
 
 import csv
 import json
+import signal
 
 import pytest
 
@@ -173,3 +174,76 @@ class TestNullRecorder:
 
     def test_default_recorder_is_enabled(self):
         assert RunRecorder().enabled
+
+
+class TestStreamSink:
+    def test_streams_each_step_as_a_complete_line(self, tmp_path):
+        path = str(tmp_path / "live.jsonl")
+        rec = RunRecorder(run_id="live", meta={"scheme": "T2"},
+                          clock=FakeClock(), stream_path=path)
+        with open(path) as fh:
+            header = json.loads(fh.readline())
+        assert header["type"] == "meta" and header["run_id"] == "live"
+        for loss in (2.0, 1.0):
+            with rec.step():
+                rec.gauge("loss", loss)
+        with open(path) as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        # Every completed step is already on disk, no close() needed.
+        assert [o["type"] for o in lines] == ["meta", "step", "step"]
+        assert lines[2]["gauges"]["loss"] == 1.0
+        rec.close()
+        rec.close()  # idempotent
+
+    def test_to_jsonl_still_rewrites_the_stream_file(self, tmp_path):
+        path = str(tmp_path / "live.jsonl")
+        rec = RunRecorder(run_id="live", clock=FakeClock(), stream_path=path)
+        with rec.step():
+            rec.gauge("loss", 1.0)
+        rec.close()
+        meta, records = load_jsonl(rec.to_jsonl(path))
+        assert meta["run_id"] == "live" and len(records) == 1
+
+    def test_sigkill_mid_run_leaves_no_truncated_line(self, tmp_path):
+        """The satellite regression test: a child process streams steps and
+        SIGKILLs itself with a step in flight; the file must contain the
+        meta header plus exactly the completed steps, every line valid
+        JSON."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        # The child must resolve `repro` the same way this process did,
+        # regardless of how pytest was launched.
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_dir, env.get("PYTHONPATH")) if p)
+
+        path = str(tmp_path / "killed.jsonl")
+        script = """
+import os, signal
+from repro.obs.metrics import RunRecorder
+
+rec = RunRecorder(run_id="doomed", meta={"plan": "kill"}, stream_path=%r)
+for step in range(3):
+    with rec.step():
+        rec.gauge("loss", 2.0 - 0.5 * step)
+rec.start_step()          # a fourth step is in flight...
+rec.gauge("loss", 0.0)
+os.kill(os.getpid(), signal.SIGKILL)   # ...when the process dies
+""" % path
+        proc = subprocess.run([sys.executable, "-c", script], timeout=60,
+                              capture_output=True, text=True, env=env)
+        assert proc.returncode == -signal.SIGKILL
+
+        with open(path) as fh:
+            raw = fh.readlines()
+        objs = [json.loads(line) for line in raw]  # no truncated JSON line
+        assert all(line.endswith("\n") for line in raw)
+        assert [o["type"] for o in objs] == ["meta", "step", "step", "step"]
+        assert [o["step"] for o in objs[1:]] == [0, 1, 2]
+        meta, records = load_jsonl(path)
+        assert meta["run_id"] == "doomed" and len(records) == 3

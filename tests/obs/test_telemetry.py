@@ -1,0 +1,283 @@
+"""TelemetryAgent event shapes, SlidingWindow statistics, Collector ingestion."""
+
+import math
+import queue
+
+import numpy as np
+import pytest
+
+from repro.obs.telemetry import Collector, ListSink, SlidingWindow, TelemetryAgent
+from repro.obs.telemetry.agent import maybe_agent_from_env
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each read advances by ``tick``."""
+
+    def __init__(self, tick=0.010):
+        self.t = 0.0
+        self.tick = tick
+
+    def __call__(self):
+        self.t += self.tick
+        return self.t
+
+
+class FullSink:
+    """Sink that is always full: every put raises ``queue.Full``."""
+
+    def put_nowait(self, batch):
+        raise queue.Full
+
+
+class FakeTransport:
+    def __init__(self, occupancy):
+        self._occupancy = occupancy
+
+    def ring_occupancy(self):
+        return dict(self._occupancy)
+
+
+class FakePlan:
+    """Stands in for a FaultPlan: only ``injected`` counters are read."""
+
+    def __init__(self, **injected):
+        self.injected = injected
+
+
+class FakeTracker:
+    probe = None
+
+
+def agent(**kw):
+    sink = ListSink()
+    return TelemetryAgent(0, 4, sink, clock=FakeClock(), **kw), sink
+
+
+class TestAgentEvents:
+    def test_meta_event_emitted_at_construction(self):
+        ag, sink = agent(sample_every=2)
+        assert ag.publish() == 1
+        (meta,) = sink.events()
+        assert meta["type"] == "meta"
+        assert meta["rank"] == 0
+        assert meta["world"] == 4
+        assert meta["sample_every"] == 2
+
+    def test_publish_batches_and_clears_buffer(self):
+        ag, sink = agent()
+        ag.emit("fault", kind="kill", step=3)
+        assert ag.publish() == 2  # meta + fault
+        assert ag.publish() == 0  # buffer now empty
+        kinds = [e["type"] for e in sink.events()]
+        assert kinds == ["meta", "fault"]
+
+    def test_full_sink_drops_instead_of_raising(self):
+        ag = TelemetryAgent(0, 4, FullSink(), clock=FakeClock())
+        ag.emit("step", step=0)
+        assert ag.publish() == 0
+        assert ag.dropped == 2  # meta + step
+
+    def test_record_step_shape_and_derived_fields(self):
+        ag, sink = agent()
+        timeline = [
+            {"cat": "mp.phase", "name": "forward", "dur_ms": 5.0},
+            {"cat": "mp.wait", "name": "recv", "dur_ms": 3.0},
+            {"cat": "mp.wait", "name": "barrier", "dur_ms": 2.0},
+            {"cat": "mp.fault", "name": "retry", "dur_ms": 1.5},
+        ]
+        event = ag.record_step(
+            7, t_start=0.0, loss=1.25, timeline=timeline,
+            transport=FakeTransport({("fwd", 0, 2): 3, ("bwd", 2, 0): 1}),
+            plan=FakePlan(drop=2, corrupt=1, delay=1),
+        )
+        assert event["type"] == "step" and event["step"] == 7
+        assert event["comm_wait_ms"] == pytest.approx(5.0)
+        assert event["fault_ms"] == pytest.approx(1.5)
+        assert event["busy_ms"] == pytest.approx(event["wall_ms"] - 5.0)
+        assert event["ring_occupancy"] == 3  # max over mailboxes
+        assert event["retries"] == 3 and event["drops"] == 2
+        assert event["delays"] == 1
+        assert event["loss"] == 1.25
+        assert event["peak_rss_kb"] >= 0.0
+
+    def test_fault_deltas_are_per_step_not_cumulative(self):
+        ag, _ = agent()
+        plan = FakePlan(drop=2)
+        first = ag.record_step(0, t_start=0.0, plan=plan)
+        second = ag.record_step(1, t_start=0.0, plan=plan)  # counters unchanged
+        assert first["drops"] == 2
+        assert second["drops"] == 0
+
+    def test_fidelity_block_from_probe_and_probe_reset(self):
+        ag, _ = agent()
+        x = np.ones(8)
+        ag.probe.observe(site="layer2.mlp", scheme="T2", group="tp",
+                        original=x, reconstructed=x * 0.9,
+                        wire_bytes=16, dense_bytes=64, residual=x * 0.1)
+        event = ag.record_step(0, t_start=0.0)
+        fid = event["fidelity"]["layer2.mlp"]
+        assert fid["rel_l2"] == pytest.approx(0.1)
+        assert fid["ratio"] == pytest.approx(4.0)
+        assert fid["residual_norm"] == pytest.approx(np.linalg.norm(x * 0.1))
+        assert not ag.probe.records  # consumed by the step event
+        assert "fidelity" not in ag.record_step(1, t_start=0.0)
+
+    def test_begin_step_samples_probe_attachment(self):
+        ag, _ = agent(sample_every=2)
+        tracker = FakeTracker()
+        ag.watch(tracker)
+        ag.begin_step(0)
+        assert tracker.probe is ag.probe
+        ag.begin_step(1)
+        assert tracker.probe is None
+        ag.begin_step(2)
+        assert tracker.probe is ag.probe
+
+    def test_begin_step_never_steals_a_foreign_probe(self):
+        ag, _ = agent(sample_every=2)
+        tracker = FakeTracker()
+        tracker.probe = sentinel = object()
+        ag.watch(tracker)
+        ag.begin_step(1)  # unsampled step must not detach someone else's probe
+        assert tracker.probe is sentinel
+
+
+class TestEnvGate:
+    def test_disabled_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        assert maybe_agent_from_env(0, 4, ListSink()) is None
+
+    def test_zero_counts_as_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "0")
+        assert maybe_agent_from_env(0, 4, ListSink()) is None
+
+    def test_no_sink_means_no_agent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        assert maybe_agent_from_env(0, 4, None) is None
+
+    def test_enabled_with_sample_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_SAMPLE", "4")
+        ag = maybe_agent_from_env(1, 4, ListSink())
+        assert ag is not None and ag.rank == 1 and ag.sample_every == 4
+
+    def test_garbage_sample_env_degrades_to_every_step(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_TELEMETRY_SAMPLE", "often")
+        assert maybe_agent_from_env(0, 4, ListSink()).sample_every == 1
+
+
+class TestSlidingWindow:
+    def test_ring_evicts_but_count_is_lifetime(self):
+        win = SlidingWindow(3)
+        for v in (1, 2, 3, 4, 5):
+            win.push(v)
+        assert win.values() == [3.0, 4.0, 5.0]
+        assert len(win) == 3 and win.count == 5
+
+    def test_exact_statistics(self):
+        win = SlidingWindow(8)
+        for v in (1, 2, 3, 4, 5):
+            win.push(v)
+        assert win.mean() == pytest.approx(3.0)
+        assert win.std() == pytest.approx(math.sqrt(2.0))
+        assert win.min() == 1.0 and win.max() == 5.0
+        assert win.last == 5.0
+        assert win.p50() == pytest.approx(3.0)
+        assert win.p99() == pytest.approx(4.96)  # interpolated, exact
+
+    def test_ewma(self):
+        win = SlidingWindow(8, ewma_alpha=0.5)
+        win.push(10.0)
+        win.push(20.0)
+        assert win.ewma == pytest.approx(15.0)
+
+    def test_empty_window_stats_are_none_or_nan(self):
+        win = SlidingWindow(4)
+        stats = win.stats()
+        assert stats["count"] == 0 and stats["window"] == 0
+        assert stats["last"] is None and stats["mean"] is None
+        assert math.isnan(win.mean()) and math.isnan(win.p50())
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+        with pytest.raises(ValueError):
+            SlidingWindow(4, ewma_alpha=0.0)
+
+
+def step_event(rank, step, **fields):
+    base = {"type": "step", "rank": rank, "t": 0.0, "step": step,
+            "wall_ms": 10.0, "comm_wait_ms": 4.0, "busy_ms": 6.0,
+            "fault_ms": 0.0, "ring_occupancy": 1, "retries": 0, "drops": 0,
+            "delays": 0, "peak_rss_kb": 1000.0}
+    base.update(fields)
+    return base
+
+
+class TestCollector:
+    def test_meta_registers_rank_and_world(self):
+        coll = Collector()
+        coll.ingest({"type": "meta", "rank": 2, "t": 0.0, "world": 4,
+                     "sample_every": 1})
+        assert coll.ranks() == [2]
+        assert coll.world == 4
+        assert coll.meta[2]["sample_every"] == 1
+
+    def test_step_feeds_per_rank_and_pooled_series(self):
+        coll = Collector()
+        coll.ingest(step_event(0, 0, wall_ms=10.0))
+        coll.ingest(step_event(1, 0, wall_ms=30.0))
+        assert coll.series(0, "wall_ms").values() == [10.0]
+        assert coll.series(None, "wall_ms").values() == [10.0, 30.0]
+        assert coll.last_step(1) == 0
+
+    def test_fidelity_pools_per_site(self):
+        coll = Collector()
+        coll.ingest(step_event(0, 0, fidelity={
+            "boundary0": {"rel_l2": 0.1, "ratio": 4.0, "residual_norm": None},
+        }))
+        assert coll.sites() == ["boundary0"]
+        assert coll.series(None, "fidelity/boundary0/rel_l2").values() == [0.1]
+        # None residual never becomes a sample
+        assert len(coll.series(None, "fidelity/boundary0/residual_norm")) == 0
+
+    def test_unknown_events_are_counted_but_ignored(self):
+        coll = Collector()
+        coll.ingest({"type": "fault", "rank": 0, "t": 0.0, "kind": "kill"})
+        assert coll.events_seen == 1
+        assert coll.ranks() == []
+
+    def test_drain_queue(self):
+        coll = Collector()
+        q = queue.Queue()
+        q.put_nowait([step_event(0, 0), step_event(1, 0)])
+        q.put_nowait([step_event(0, 1)])
+        assert coll.drain_queue(q) == 3
+        assert coll.last_step(0) == 1
+
+    def test_drain_backend_poll(self):
+        class FakeBackend:
+            def __init__(self):
+                self.batches = [[step_event(0, 0)], []]
+
+            def poll_telemetry(self):
+                return self.batches.pop(0) if self.batches else []
+
+        coll = Collector()
+        assert coll.drain(FakeBackend()) == 1
+        assert coll.ranks() == [0]
+
+    def test_snapshot_shape(self):
+        coll = Collector()
+        coll.ingest({"type": "meta", "rank": 0, "t": 0.0, "world": 2,
+                     "sample_every": 1})
+        coll.ingest(step_event(0, 3, loss=1.5, fidelity={
+            "boundary0": {"rel_l2": 0.1, "ratio": 4.0, "residual_norm": 2.0},
+        }))
+        snap = coll.snapshot()
+        assert snap["world"] == 2 and snap["ranks"] == [0]
+        assert snap["last_step"] == {"0": 3}
+        assert snap["per_rank"]["0"]["wall_ms"]["window"] == 1
+        assert snap["pooled"]["loss"]["last"] == 1.5
+        assert snap["fidelity"]["boundary0"]["rel_l2"]["mean"] == 0.1

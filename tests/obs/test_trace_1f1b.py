@@ -99,3 +99,34 @@ class TestAsyncSpanExport:
                               worker_timelines_trace(self.TIMELINES, {}))
         diffs = validate_against_breakdown(merged, sim.breakdown())
         assert max(diffs.values()) < 1e-6, diffs
+
+
+class TestTrackLabels:
+    TIMELINES = {
+        r: [{"name": "F0", "cat": "mp.phase", "ts_ms": 0.0, "dur_ms": 1.0}]
+        for r in range(4)
+    }
+
+    @staticmethod
+    def thread_names(trace):
+        return {e["args"]["name"] for e in trace["traceEvents"]
+                if e.get("ph") == "M" and e.get("name") == "thread_name"}
+
+    def test_layout_meta_labels_tracks_with_tp_pp_coordinates(self):
+        trace = worker_timelines_trace(
+            self.TIMELINES, {"run_id": "t", "tp": 2, "pp": 2})
+        assert self.thread_names(trace) == {
+            "rank 0 · tp0/pp0", "rank 1 · tp1/pp0",
+            "rank 2 · tp0/pp1", "rank 3 · tp1/pp1",
+        }
+
+    def test_process_name_metadata_is_emitted(self):
+        trace = worker_timelines_trace(self.TIMELINES, {"run_id": "mytest",
+                                                        "tp": 2, "pp": 2})
+        procs = [e["args"]["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "M" and e.get("name") == "process_name"]
+        assert procs == ["mp workers: mytest"]
+
+    def test_without_layout_meta_tracks_degrade_to_plain_rank(self):
+        trace = worker_timelines_trace(self.TIMELINES, {"run_id": "t"})
+        assert self.thread_names(trace) == {"rank0", "rank1", "rank2", "rank3"}

@@ -1,0 +1,137 @@
+"""Live telemetry over the real mp backend.
+
+Three contracts from DESIGN decision 12:
+
+- with ``REPRO_TELEMETRY=1`` every rank streams meta + step events over
+  the queue side channel, including per-site compression fidelity;
+- telemetry on vs off is *bitwise* neutral — identical losses and
+  weights over a multi-step training loop (equality, not allclose);
+- under the builtin straggler fault plan the health monitor's alert
+  names the injected rank.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.transformer import TransformerConfig
+from repro.obs.telemetry import Collector, HealthMonitor
+from repro.optim import Adam
+from repro.parallel.backend import create_backend
+from repro.parallel.runtime import ModelParallelBertClassifier, ModelParallelConfig
+
+MP_TIMEOUT = 30.0
+
+
+def make_model(scheme="A2", tp=2, pp=2, schedule="1f1b", microbatches=2):
+    mc = TransformerConfig(vocab_size=64, hidden=32, num_layers=4, num_heads=4,
+                           max_seq_len=16, dropout=0.0, num_classes=3)
+    cfg = ModelParallelConfig(model=mc, tp=tp, pp=pp, scheme=scheme, seed=0,
+                              backend="mp", pipeline_schedule=schedule,
+                              num_microbatches=microbatches)
+    return ModelParallelBertClassifier(cfg)
+
+
+def make_batch(seed=0):
+    rng = np.random.default_rng(seed)
+    ids = rng.integers(0, 64, size=(4, 12))
+    labels = rng.integers(0, 3, size=(4,))
+    mask = np.ones((4, 12), dtype=np.int64)
+    return ids, labels, mask
+
+
+def train_loop(model, steps=2, collector=None):
+    """A few real optimizer steps through the mp backend; returns losses."""
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    losses = []
+    backend = create_backend("mp", model, timeout=MP_TIMEOUT)
+    try:
+        for step in range(steps):
+            ids, labels, mask = make_batch(seed=step)
+            optimizer.zero_grad()
+            result = backend.train_step(ids, labels, mask)
+            backend.apply_grads(model, result)
+            optimizer.step()
+            backend.sync_weights(model)
+            losses.append(result.loss)
+            if collector is not None:
+                collector.drain(backend, grace_s=0.5)
+    finally:
+        backend.close()
+    if collector is not None:
+        # close() moved any late feeder-thread batches into the backlog.
+        collector.drain(backend)
+    return losses
+
+
+class TestSideChannel:
+    def test_every_rank_streams_step_events_and_fidelity(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        collector = Collector()
+        train_loop(make_model("A2"), steps=2, collector=collector)
+
+        assert collector.ranks() == [0, 1, 2, 3]
+        assert collector.world == 4
+        for rank in range(4):
+            assert collector.last_step(rank) == 1
+            wall = collector.series(rank, "wall_ms")
+            busy = collector.series(rank, "busy_ms")
+            wait = collector.series(rank, "comm_wait_ms")
+            assert len(wall) == 2
+            assert all(v > 0 for v in wall.values())
+            # busy = wall − wait by construction.
+            for w, b, c in zip(wall.values(), busy.values(), wait.values()):
+                assert b == pytest.approx(max(w - c, 0.0))
+        # The A2 scheme compresses both TP sites and the PP boundary:
+        # fidelity must arrive from the SPMD collectives, pooled per site.
+        sites = collector.sites()
+        assert "boundary0" in sites
+        assert any(s.startswith("layer") for s in sites)
+        rel = collector.series(None, "fidelity/boundary0/rel_l2")
+        assert len(rel) > 0 and all(v >= 0 for v in rel.values())
+
+    def test_channel_is_silent_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        collector = Collector()
+        train_loop(make_model("w/o", schedule="gpipe", microbatches=1),
+                   steps=1, collector=collector)
+        assert collector.events_seen == 0
+        assert collector.ranks() == []
+
+
+class TestBitwiseNeutrality:
+    def test_on_off_runs_are_identical(self, monkeypatch):
+        def run(telemetry):
+            if telemetry:
+                monkeypatch.setenv("REPRO_TELEMETRY", "1")
+            else:
+                monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+            model = make_model("A2")
+            losses = train_loop(model, steps=3)
+            return losses, model.state_dict()
+
+        losses_off, state_off = run(telemetry=False)
+        losses_on, state_on = run(telemetry=True)
+
+        assert losses_on == losses_off  # bitwise, not allclose
+        assert set(state_on) == set(state_off)
+        for name in sorted(state_off):
+            assert np.array_equal(state_on[name], state_off[name]), name
+
+
+class TestStragglerAlert:
+    def test_alert_names_the_injected_rank(self, monkeypatch):
+        # The builtin plan delays rank 1 before step 0 by 50 ms — far above
+        # the straggler rule's 10 ms gap floor.
+        monkeypatch.setenv("REPRO_TELEMETRY", "1")
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "straggler")
+        collector = Collector()
+        monitor = HealthMonitor(collector)
+        train_loop(make_model("w/o"), steps=2, collector=collector)
+        monitor.check(step=2)
+
+        stragglers = [a for a in monitor.alerts if a.rule == "straggler"]
+        assert stragglers, f"no straggler alert; got {monitor.alerts}"
+        assert {a.rank for a in stragglers} == {1}
+        assert "rank 1" in stragglers[0].message
+        # The injected delay is also visible as this rank's fault counter.
+        assert sum(collector.series(1, "delays").values()) >= 1
