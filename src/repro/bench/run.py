@@ -134,7 +134,8 @@ def _run_backend_step(case: BenchCase, warmup: int, rounds: int) -> dict:
 
     cfg = ModelParallelConfig(
         default_accuracy_model(num_classes=2, seed=0),
-        tp=case.tp, pp=case.pp, scheme=case.scheme, seed=0,
+        tp=case.tp, pp=case.pp, dp=case.dp, sp=case.sp,
+        scheme=case.scheme, seed=0,
         backend=case.backend, pipeline_schedule=case.schedule,
         num_microbatches=case.microbatches,
     )

@@ -59,6 +59,8 @@ BENCH_SCHEMA = {
                             "scheme": {"type": "string"},
                             "tp": {"type": "integer", "minimum": 1},
                             "pp": {"type": "integer", "minimum": 1},
+                            "dp": {"type": "integer", "minimum": 1},
+                            "sp": {"type": "integer", "minimum": 1},
                             "backend": {"type": "string"},
                             "schedule": {"type": "string",
                                          "enum": ["gpipe", "1f1b"]},

@@ -37,11 +37,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["BenchCase", "LAYOUTS", "SCHEMES", "BACKEND_SCHEMES",
-           "DEGRADED_SCHEMES", "DEGRADED_PLANS", "default_suite",
-           "degraded_suite", "scheme_slug"]
+           "GRID_CELLS", "DEGRADED_SCHEMES", "DEGRADED_PLANS",
+           "default_suite", "degraded_suite", "scheme_slug", "topology_slug"]
 
 #: (tp, pp) layouts the paper's small-scale tables exercise.
 LAYOUTS: tuple[tuple[int, int], ...] = ((2, 1), (1, 2), (2, 2))
+
+#: (dp, tp, pp, sp) cells exercising the DP and ring-SP topology axes on
+#: the backend seam (healthy suite only).
+GRID_CELLS: tuple[tuple[int, int, int, int], ...] = (
+    (2, 1, 1, 1),  # pure data parallelism, compressible gradient wire
+    (1, 1, 2, 2),  # ring sequence parallelism across a pipeline split
+)
 
 #: One representative scheme per family plus the uncompressed baseline.
 SCHEMES: tuple[str, ...] = ("w/o", "T2", "R2", "Q2", "A2")
@@ -50,6 +57,20 @@ SCHEMES: tuple[str, ...] = ("w/o", "T2", "R2", "Q2", "A2")
 def scheme_slug(scheme: str) -> str:
     """Scheme label as a path-safe id component (``w/o`` → ``wo``)."""
     return scheme.replace("/", "")
+
+
+def topology_slug(dp: int, tp: int, pp: int, sp: int) -> str:
+    """Stable id component for a grid cell (``dp2tp1pp1``, ``tp1pp2sp2``).
+
+    Degenerate axes are omitted so pre-grid case ids (``tp2pp1`` …) are
+    unchanged — the compare gate matches baseline rows by id.
+    """
+    slug = f"tp{tp}pp{pp}"
+    if dp > 1:
+        slug = f"dp{dp}{slug}"
+    if sp > 1:
+        slug = f"{slug}sp{sp}"
+    return slug
 
 
 #: Schemes the backend comparison tracks — one per family is enough to
@@ -71,6 +92,8 @@ class BenchCase:
     scheme: str = "w/o"
     tp: int = 1
     pp: int = 1
+    dp: int = 1
+    sp: int = 1
     backend: str = "inproc"
     schedule: str = "gpipe"
     microbatches: int = 1
@@ -80,6 +103,7 @@ class BenchCase:
 
     def params(self) -> dict:
         p = {"scheme": self.scheme, "tp": self.tp, "pp": self.pp,
+             "dp": self.dp, "sp": self.sp,
              "backend": self.backend, "schedule": self.schedule,
              "microbatches": self.microbatches}
         if self.fault_plan:
@@ -138,6 +162,18 @@ def default_suite() -> list[BenchCase]:
                 kind="backend_step", scheme=scheme, tp=tp, pp=pp,
                 backend="mp", schedule="1f1b", microbatches=4,
             ))
+    # The DP/SP grid cells, on both backends: dp2's gradient wire is where
+    # gradient compression earns (or loses) its keep, sp2's ring exchange
+    # is the new attention-boundary hot path.
+    for backend in ("inproc", "mp"):
+        for dp, tp, pp, sp in GRID_CELLS:
+            for scheme in BACKEND_SCHEMES:
+                cases.append(BenchCase(
+                    id=(f"backend_step/{backend}/{topology_slug(dp, tp, pp, sp)}"
+                        f"/{scheme_slug(scheme)}"),
+                    kind="backend_step", scheme=scheme, tp=tp, pp=pp,
+                    dp=dp, sp=sp, backend=backend,
+                ))
     return cases
 
 

@@ -117,7 +117,17 @@ def create_backend(name: str, model, **kwargs) -> ExecutionBackend:
     ``model`` is a :class:`~repro.parallel.ModelParallelBertClassifier`
     (or any model following its config/tracker protocol); the mp backend
     reads its :class:`ModelParallelConfig` to spawn one worker per rank.
+
+    The topology grid is re-validated here (configs are plain dataclasses
+    — an axis mutated after construction would otherwise surface as a
+    worker-spawn failure deep inside the mp backend): a bad axis raises a
+    typed :class:`~repro.parallel.topology.TopologyError` naming it.
     """
+    cfg = getattr(model, "config", None)
+    if cfg is not None and hasattr(cfg, "dp"):
+        from repro.parallel.topology import validate_grid
+
+        validate_grid(cfg.dp, cfg.tp, cfg.pp, cfg.sp)
     if name == "inproc":
         from repro.parallel.backend.inproc import InprocBackend
 

@@ -33,6 +33,8 @@ from repro.parallel.backend.transport import (
     RankTransport,
 )
 from repro.parallel.backend.worker import _worker_main
+from repro.parallel.collectives import CommTracker, dp_all_reduce
+from repro.parallel.grad_sync import build_dp_grad_compressor
 
 __all__ = ["MpBackend"]
 
@@ -44,7 +46,7 @@ _STAGE0_PARAMS = ("token_embedding", "position_embedding", "embed_ln")
 
 
 class MpBackend(ExecutionBackend):
-    """Spawn-context process gang executing the model's TP×PP layout."""
+    """Spawn-context process gang executing the model's DP×PP×SP×TP grid."""
 
     name = "mp"
 
@@ -73,7 +75,11 @@ class MpBackend(ExecutionBackend):
         self.model = model
         self.tp = cfg.tp
         self.pp = cfg.pp
-        self.world = cfg.tp * cfg.pp
+        self.dp = getattr(cfg, "dp", 1)
+        self.sp = getattr(cfg, "sp", 1)
+        self.world = self.dp * cfg.pp * self.sp * cfg.tp
+        self._dp_compressor = (build_dp_grad_compressor(cfg)
+                               if self.dp > 1 else None)
         self.timeout = timeout
         self.collect_timelines = collect_timelines
         self.overlap = overlap
@@ -106,23 +112,32 @@ class MpBackend(ExecutionBackend):
         if hasattr(model, "regression"):
             kwargs["regression"] = model.regression
         model_spec = {"cls": type(model), "config": model.config, "kwargs": kwargs}
-        for stage in range(self.pp):
-            for tp_rank in range(self.tp):
-                parent_conn, child_conn = spawn.Pipe()
-                rank_info = {"tp": self.tp, "pp": self.pp,
-                             "tp_rank": tp_rank, "stage": stage,
-                             "overlap": self.overlap}
-                proc = spawn.Process(
-                    target=_worker_main,
-                    args=(child_conn, self.transport.spec, rank_info,
-                          model_spec, timeout, self._telemetry_queue),
-                    daemon=True,
-                    name=f"repro-rank{global_rank(stage, tp_rank, self.tp)}",
-                )
-                proc.start()
-                child_conn.close()
-                self._procs.append(proc)
-                self._conns.append(parent_conn)
+        # Spawn order is global-rank order (dp-major, tp-minor), so
+        # ``self._conns[rank]`` indexes by rank as before.
+        for dp_rank in range(self.dp):
+            for stage in range(self.pp):
+                for sp_rank in range(self.sp):
+                    for tp_rank in range(self.tp):
+                        parent_conn, child_conn = spawn.Pipe()
+                        rank_info = {"tp": self.tp, "pp": self.pp,
+                                     "tp_rank": tp_rank, "stage": stage,
+                                     "dp": self.dp, "sp": self.sp,
+                                     "dp_rank": dp_rank, "sp_rank": sp_rank,
+                                     "overlap": self.overlap}
+                        rank = global_rank(stage, tp_rank, self.tp,
+                                           pp=self.pp, sp=self.sp,
+                                           sp_rank=sp_rank, dp_rank=dp_rank)
+                        proc = spawn.Process(
+                            target=_worker_main,
+                            args=(child_conn, self.transport.spec, rank_info,
+                                  model_spec, timeout, self._telemetry_queue),
+                            daemon=True,
+                            name=f"repro-rank{rank}",
+                        )
+                        proc.start()
+                        child_conn.close()
+                        self._procs.append(proc)
+                        self._conns.append(parent_conn)
 
     def _collect(self, ranks) -> dict[int, tuple]:
         """One message from each rank, or a BackendError naming the culprit.
@@ -193,21 +208,43 @@ class MpBackend(ExecutionBackend):
     # ------------------------------------------------------------------
     def train_step(self, input_ids, labels, attention_mask=None) -> StepResult:
         self._ensure_open()
+        if self.dp > 1 and np.asarray(input_ids).shape[0] % self.dp != 0:
+            raise ValueError(
+                f"batch size {np.asarray(input_ids).shape[0]} not divisible "
+                f"by dp={self.dp}")
         self._send_all(("step", input_ids, labels, attention_mask,
                         self.collect_timelines))
         replies = self._collect(range(self.world))
 
         # replies[rank] = ("result", rank, loss, grads, events, timeline)
-        loss_rank = global_rank(self.pp - 1, 0, self.tp)
-        loss = replies[loss_rank][2]
-        if loss is None:
-            raise BackendError("last pipeline stage reported no loss",
-                               rank=loss_rank)
+        # Each dp gang's last stage reports its shard loss; the step loss
+        # is the gang-order mean, matching the oracle's replica loop.
+        losses: list[float] = []
+        for d in range(self.dp):
+            loss_rank = global_rank(self.pp - 1, 0, self.tp, pp=self.pp,
+                                    sp=self.sp, dp_rank=d)
+            gang_loss = replies[loss_rank][2]
+            if gang_loss is None:
+                raise BackendError("last pipeline stage reported no loss",
+                                   rank=loss_rank)
+            losses.append(gang_loss)
+        loss = sum(losses[1:], losses[0]) / self.dp
 
-        grads = self._merge_grads({r: replies[r][3] for r in replies})
+        per_rank = {r: replies[r][3] for r in replies}
         events: list = []
         for rank in range(self.world):
             events.extend(replies[rank][4])
+        if self.dp == 1:
+            grads = self._merge_grads(per_rank)
+        else:
+            # Backend-layer gradient sync point: the same dp_all_reduce
+            # the inproc oracle runs, over the per-gang merged gradients.
+            replica_grads = [self._merge_grads(per_rank, dp_rank=d)
+                             for d in range(self.dp)]
+            dp_tracker = CommTracker()
+            grads = dp_all_reduce(replica_grads, self._dp_compressor,
+                                  dp_tracker)
+            events.extend(dp_tracker.events)
         timelines = {}
         if self.collect_timelines:
             timelines = {rank: replies[rank][5] for rank in range(self.world)}
@@ -236,25 +273,25 @@ class MpBackend(ExecutionBackend):
             return 0
         return self.pp - 1  # classifier / MLM heads live after the backbone
 
-    def _merge_grads(self, per_rank: dict[int, dict[str, np.ndarray]]
-                     ) -> dict[str, np.ndarray]:
-        """Select worker gradients into the oracle's gradient set.
+    def _merge_grads(self, per_rank: dict[int, dict[str, np.ndarray]],
+                     dp_rank: int = 0) -> dict[str, np.ndarray]:
+        """Select worker gradients into one gang's oracle gradient set.
 
         - ``*_rank{r}`` shard parameters: exactly one worker (owner stage,
           tp rank r) touched them — take its gradient.
         - Everything else — including learnable codec parameters, whose
           workers replay the oracle's full encode-sum-decode graph over
           exchanged partials — is replicated: take the owner stage's tp
-          rank 0 copy.
+          rank 0 copy (sp rank 0 plane; the SP grad sync made the sp
+          replicas identical).
         """
         merged: dict[str, np.ndarray] = {}
         for name, _ in self.model.named_parameters():
             stage = self._owner_stage(name)
             m = _RANK_SUFFIX.search(name)
-            if m:
-                g = per_rank[global_rank(stage, int(m.group(1)), self.tp)].get(name)
-            else:
-                g = per_rank[global_rank(stage, 0, self.tp)].get(name)
+            tp_rank = int(m.group(1)) if m else 0
+            g = per_rank[global_rank(stage, tp_rank, self.tp, pp=self.pp,
+                                     sp=self.sp, dp_rank=dp_rank)].get(name)
             if g is not None:
                 merged[name] = g
         return merged
@@ -287,22 +324,41 @@ class MpBackend(ExecutionBackend):
         return dst
 
     def runtime_state(self) -> dict:
-        """Union of every worker's compressor runtime state (EF, RNG)."""
+        """Union of every worker's compressor runtime state (EF, RNG).
+
+        With ``dp > 1`` the gangs' compressor states diverge (each gang
+        advances on its own batch shard), so the union is namespaced per
+        gang — ``{"dp0": ..., "dp1": ..., "dp_grad": ...}`` — with the
+        parent-side gradient codec's state alongside.
+        """
         self._ensure_open()
         self._send_all(("runtime_state",))
         replies = self._collect(range(self.world))
         merged: dict = {}
+        gang = self.pp * self.sp * self.tp
         for rank in range(self.world):
-            self._merge_nested(merged, replies[rank][2])
+            if self.dp == 1:
+                self._merge_nested(merged, replies[rank][2])
+            else:
+                sub = merged.setdefault(f"dp{rank // gang}", {})
+                self._merge_nested(sub, replies[rank][2])
+        if self._dp_compressor is not None:
+            grad_state = self._dp_compressor.runtime_state()
+            if grad_state:
+                merged["dp_grad"] = grad_state
         return merged
 
     def load_runtime_state(self, state: dict) -> None:
         """Broadcast checkpointed compressor state to every worker.
 
         No reply needed: the control pipe is FIFO, so the next ``step``
-        command is guaranteed to observe the restored state.
+        command is guaranteed to observe the restored state.  Each worker
+        picks its own ``dp{d}`` slice out of a namespaced dict; the
+        parent restores the gradient codec's slice here.
         """
         self._ensure_open()
+        if self._dp_compressor is not None and "dp_grad" in state:
+            self._dp_compressor.load_runtime_state(state["dp_grad"])
         self._send_all(("load_runtime_state", state))
 
     # ------------------------------------------------------------------

@@ -36,8 +36,14 @@ from repro.tensor import Tensor
 _RANK_SUFFIX = re.compile(r"_rank(\d+)$")
 
 
-def _parent_reads(name: str, tp_rank: int) -> bool:
-    """Whether the parent's gradient merge reads ``name`` from this rank."""
+def _parent_reads(name: str, tp_rank: int, sp_rank: int = 0) -> bool:
+    """Whether the parent's gradient merge reads ``name`` from this rank.
+
+    After the SP grad sync every sp rank holds identical gradients, so the
+    merge only consults the ``sp_rank == 0`` plane of each gang.
+    """
+    if sp_rank != 0:
+        return False
     m = _RANK_SUFFIX.search(name)
     if m is not None:
         return int(m.group(1)) == tp_rank
@@ -95,6 +101,7 @@ def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
         split_microbatches,
     )
     from repro.parallel.collectives import pipeline_transfer
+    from repro.parallel.grad_sync import sp_sync_grads
     from repro.parallel.pipeline import schedule_ops
 
     transport = ctx.transport
@@ -114,6 +121,16 @@ def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
     model.zero_grad()
     model.tracker.reset()
     transport.barrier_wait(timeout=ctx.timeout)
+
+    if ctx.dp > 1:
+        # Each dp gang trains on its contiguous batch shard; the parent
+        # ships the full batch and every rank slices its own view.
+        shard = input_ids.shape[0] // ctx.dp
+        sl = slice(ctx.dp_rank * shard, (ctx.dp_rank + 1) * shard)
+        input_ids = input_ids[sl]
+        labels = labels[sl]
+        if attention_mask is not None:
+            attention_mask = attention_mask[sl]
 
     microbatches = split_microbatches(input_ids, labels, attention_mask, m)
     seed = None if m == 1 else loss_grad_seed(m)
@@ -175,13 +192,19 @@ def _spmd_step(model, ctx: RankContext, input_ids, labels, attention_mask,
                                       cat="mp.async")
             _span(timeline, origin, "backward" if m == 1 else f"B{i}", t0)
 
+    # Ring SP leaves each rank's QKV gradients partial over its sequence
+    # block; reconcile around the ring before replying to the parent.
+    if ctx.sp > 1:
+        sp_sync_grads(model, ctx)
+
     # Reply with exactly the gradients the parent's merge will read: tp
     # rank 0 owns every replicated parameter's copy (plus its own shards);
     # a tp rank > 0 worker is only consulted for its ``_rank{r}`` shards.
     # Everything else would be pickled, shipped and dropped.
     grads = {
         name: p.grad for name, p in model.named_parameters()
-        if p.grad is not None and _parent_reads(name, ctx.tp_rank)
+        if p.grad is not None and _parent_reads(name, ctx.tp_rank,
+                                                ctx.sp_rank)
     }
     events = list(model.tracker.events)
     transport.timeline = None
@@ -199,11 +222,18 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
     never waits on a silent failure.
     """
     _disable_shm_tracking()
-    rank = rank_info["stage"] * rank_info["tp"] + rank_info["tp_rank"]
+    from repro.parallel.backend.context import global_rank
+
+    dp = rank_info.get("dp", 1)
+    sp = rank_info.get("sp", 1)
+    rank = global_rank(rank_info["stage"], rank_info["tp_rank"],
+                       rank_info["tp"], pp=rank_info["pp"], sp=sp,
+                       sp_rank=rank_info.get("sp_rank", 0),
+                       dp_rank=rank_info.get("dp_rank", 0))
+    world = dp * rank_info["pp"] * sp * rank_info["tp"]
     transport = None
     # Concurrency event log (DYN003): purely env-gated, off in production.
-    conc = conclog.maybe_install_from_env(
-        rank, world=rank_info["tp"] * rank_info["pp"])
+    conc = conclog.maybe_install_from_env(rank, world=world)
     # Fault plan (chaos injection): also purely env-gated; the env var is
     # inherited from the parent through the spawn context.
     fault_plan = faults.maybe_install_from_env()
@@ -214,8 +244,7 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
     if telemetry_q is not None:
         from repro.obs.telemetry.agent import maybe_agent_from_env
 
-        telem = maybe_agent_from_env(
-            rank, world=rank_info["tp"] * rank_info["pp"], sink=telemetry_q)
+        telem = maybe_agent_from_env(rank, world=world, sink=telemetry_q)
     steps_done = 0
     try:
         transport = RankTransport(spec, rank)
@@ -227,6 +256,9 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
             rng=np.random.default_rng((model_spec["config"].seed, rank)),
             timeout=timeout,
             overlap=rank_info.get("overlap", True),
+            dp=dp, sp=sp,
+            dp_rank=rank_info.get("dp_rank", 0),
+            sp_rank=rank_info.get("sp_rank", 0),
         )
         set_rank_context(ctx)
         if telem is not None:
@@ -248,7 +280,12 @@ def _worker_main(conn, spec: dict, rank_info: dict, model_spec: dict,
             elif cmd == "load_runtime_state":
                 backbone = getattr(model, "backbone", None)
                 if backbone is not None:
-                    backbone.load_runtime_state_dict(msg[1])
+                    state = msg[1]
+                    # dp runs namespace per-replica compressor state; each
+                    # gang restores its own slice of the broadcast dict.
+                    if f"dp{ctx.dp_rank}" in state:
+                        state = state[f"dp{ctx.dp_rank}"]
+                    backbone.load_runtime_state_dict(state)
             elif cmd == "step":
                 _, input_ids, labels, attention_mask, collect = msg
                 # Stamped before fault injection so a planned straggler

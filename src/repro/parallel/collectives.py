@@ -29,6 +29,7 @@ from repro.compression.autoencoder import AutoencoderCompressor
 from repro.parallel.backend import conclog as _conclog
 from repro.parallel.backend.context import rank_context
 from repro.tensor import Tensor
+from repro.tensor.tensor import concatenate as _concatenate
 
 __all__ = [
     "CommEvent",
@@ -40,10 +41,14 @@ __all__ = [
     "tp_broadcast",
     "pipeline_transfer",
     "pipeline_transfer_issue",
+    "dp_all_reduce",
+    "sp_slice",
+    "sp_seq_all_gather",
+    "sp_ring_account",
 ]
 
-_VALID_OPS = frozenset({"all_reduce", "all_gather", "send"})
-_VALID_GROUPS = frozenset({"tp", "pp"})
+_VALID_OPS = frozenset({"all_reduce", "all_gather", "send", "ring_exchange"})
+_VALID_GROUPS = frozenset({"tp", "pp", "dp", "sp"})
 _VALID_PHASES = frozenset({"forward", "backward"})
 
 
@@ -51,8 +56,8 @@ _VALID_PHASES = frozenset({"forward", "backward"})
 class CommEvent:
     """One logged message (or collective round) on the simulated wire."""
 
-    op: str  # "all_reduce" | "all_gather" | "send"
-    group: str  # "tp" | "pp"
+    op: str  # "all_reduce" | "all_gather" | "send" | "ring_exchange"
+    group: str  # "tp" | "pp" | "dp" | "sp"
     phase: str  # "forward" | "backward"
     scheme: str
     wire_bytes: int  # per-rank message payload in bytes
@@ -694,6 +699,193 @@ def pipeline_transfer_issue(
         CommEvent("send", "pp", "backward", scheme, bwd_bytes, 2, shape,
                   layer, f"boundary{boundary}"),
     ))
+
+
+# ----------------------------------------------------------------------
+# Data-parallel gradient all-reduce
+# ----------------------------------------------------------------------
+def dp_all_reduce(
+    replica_grads: list[dict[str, np.ndarray]],
+    compressor: Compressor | None,
+    tracker: CommTracker,
+    *,
+    site: str = "grad",
+) -> dict[str, np.ndarray]:
+    """Compressible gradient all-reduce across data-parallel replicas.
+
+    Runs at the *backend* layer (the trainer's gradient sync point) in
+    both backends: the inproc oracle reduces over its replica models, the
+    mp backend over its per-gang merged gradient dicts — the identical
+    code path, so the two are bitwise-equivalent by construction.
+
+    Each replica's gradients are flattened in sorted-name order into one
+    vector; a stateful codec keeps one ``dp.rank{r}`` site per replica
+    (error-feedback residuals and Random-K streams never alias across
+    replicas — the same per-site isolation the TP all-gather path uses).
+    Reconstructions are summed in rank order (bitwise-commutative at
+    dp <= 2) and divided by the replica count: the result is the gradient
+    of the mean loss over the full batch.
+
+    Records exactly one :class:`CommEvent` per step — ``all_reduce`` for
+    the dense path, ``all_gather`` for the gathered compressed messages,
+    mirroring the TP convention.
+    """
+    dp = len(replica_grads)
+    if dp == 1:
+        return dict(replica_grads[0])
+    names = sorted(replica_grads[0])
+    for grads in replica_grads[1:]:
+        if sorted(grads) != names:
+            raise ValueError("replica gradient sets differ; cannot dp-reduce")
+    shapes = [replica_grads[0][n].shape for n in names]
+    flats = [
+        np.concatenate([np.asarray(grads[n], dtype=np.float32).ravel()
+                        for n in names])
+        for grads in replica_grads
+    ]
+    shape = (flats[0].size,)
+    if compressor is None or _is_identity(compressor):
+        total = flats[0]
+        for f in flats[1:]:
+            total = total + f
+        tracker.record(
+            CommEvent("all_reduce", "dp", "backward", "none",
+                      dense_bytes(shape), dp, shape, None, site)
+        )
+    else:
+        recs = [
+            compressor.apply(Tensor(f), site=f"dp.rank{r}").data
+            for r, f in enumerate(flats)
+        ]
+        total = recs[0]
+        for rec in recs[1:]:
+            total = total + rec
+        tracker.record(
+            CommEvent("all_gather", "dp", "backward", compressor.name,
+                      compressor.compressed_bytes(shape), dp, shape, None, site)
+        )
+    mean = total / dp
+    merged: dict[str, np.ndarray] = {}
+    offset = 0
+    for name, pshape in zip(names, shapes):
+        n = int(np.prod(pshape)) if pshape else 1
+        merged[name] = mean[offset:offset + n].reshape(pshape)
+        offset += n
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Ring sequence parallelism
+# ----------------------------------------------------------------------
+def sp_slice(x: Tensor, sp: int, sp_rank: int) -> Tensor:
+    """This sp rank's sequence block of a replicated ``(b, s, h)`` activation.
+
+    In-process this is a plain autograd slice: the backward pass scatters
+    the block gradient into a zero-padded full array and the sp blocks'
+    contributions accumulate into the full input gradient.  Inside an mp
+    worker the backward instead *exchanges* the disjoint block gradients
+    around the ring and assembles the full ``dx`` locally — the upstream
+    (replicated) computation then sees the same full gradient on every
+    rank.
+    """
+    b, s, h = x.shape
+    if s % sp != 0:
+        raise ValueError(f"sequence length {s} not divisible by sp={sp}")
+    blk = s // sp
+    lo = sp_rank * blk
+    ctx = rank_context()
+    if ctx is None or ctx.sp <= 1:
+        return x[:, lo:lo + blk, :]
+
+    peers = ctx.sp_peers()
+
+    def backward(g):
+        wire = ctx.transport.exchange_issue(
+            peers, np.ascontiguousarray(g), timeout=ctx.timeout,
+            label="sp dx gather")
+        gathered = wire.wait(ctx.timeout)
+        return (np.concatenate([gathered[p] for p in peers], axis=1),)
+
+    return Tensor._make(x.data[:, lo:lo + blk, :], (x,), backward)
+
+
+def sp_seq_all_gather(blocks: list[Tensor], sp: int, *, axis: int = 2,
+                      reduce_backward: bool, label: str = "sp gather") -> Tensor:
+    """Concatenate per-rank sequence blocks into the full tensor.
+
+    ``reduce_backward=True`` is the K/V gather: every rank's backward
+    holds a *partial* gradient of the full tensor (its own query block's
+    contribution), so under SPMD the partials are exchanged and summed in
+    rank order before slicing the own block — matching the oracle's
+    autograd accumulation bitwise at sp <= 2.  ``reduce_backward=False``
+    is the context all-gather: the downstream computation is replicated,
+    so the incoming full gradient is already identical on every rank and
+    the backward is a local slice with no wire traffic.
+    """
+    ctx = rank_context()
+    if ctx is None or ctx.sp <= 1:
+        if len(blocks) == 1 and sp == 1:
+            return blocks[0]
+        if len(blocks) != sp:
+            raise ValueError(f"expected {sp} blocks in-process, got {len(blocks)}")
+        return _concatenate(blocks, axis=axis)
+
+    if len(blocks) != 1:
+        raise ValueError(
+            f"SPMD sp_seq_all_gather expects exactly the local block, "
+            f"got {len(blocks)}"
+        )
+    own = blocks[0]
+    peers = ctx.sp_peers()
+    blk = own.shape[axis]
+    lo = ctx.sp_rank * blk
+    wire = ctx.transport.exchange_issue(
+        peers, np.ascontiguousarray(own.data), timeout=ctx.timeout,
+        label=label)
+    gathered = wire.wait(ctx.timeout)
+    full = np.concatenate([gathered[p] for p in peers], axis=axis)
+    take = [slice(None)] * full.ndim
+    take[axis] = slice(lo, lo + blk)
+    take = tuple(take)
+
+    def backward(g):
+        if reduce_backward:
+            wire_b = ctx.transport.exchange_issue(
+                peers, np.ascontiguousarray(g), timeout=ctx.timeout,
+                label=f"{label} bwd reduce")
+            g = _sum_rank_order(wire_b.wait(ctx.timeout), peers)
+        return (g[take],)
+
+    return Tensor._make(full, (own,), backward)
+
+
+def sp_ring_account(x: Tensor, tracker: CommTracker, *, sp: int,
+                    shape: tuple[int, ...], block_shape: tuple[int, ...],
+                    layer: int | None = None, site: str = "attn") -> Tensor:
+    """Byte accounting for one attention-boundary ring exchange.
+
+    One forward and one backward :class:`CommEvent` per (layer,
+    microbatch), each ``3*(sp-1)*dense_bytes(block)``: the forward moves
+    the K and V ring hops plus the context all-gather; the backward moves
+    the dK/dV ring reduce plus the dx block gather (the context gather's
+    backward is wire-free — see :func:`sp_seq_all_gather`).  Recorded by
+    the designated recorder only, wrapped everywhere so backward op order
+    stays identical across ranks.
+    """
+    wire = 3 * (sp - 1) * dense_bytes(block_shape)
+    ctx = rank_context()
+    recording = ctx is None or ctx.records
+    if recording:
+        tracker.record(
+            CommEvent("ring_exchange", "sp", "forward", "none", wire, sp,
+                      shape, layer, site)
+        )
+    return _with_backward_event(
+        x, tracker,
+        CommEvent("ring_exchange", "sp", "backward", "none", wire, sp,
+                  shape, layer, site),
+        enabled=recording,
+    )
 
 
 # ----------------------------------------------------------------------

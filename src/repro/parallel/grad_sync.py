@@ -1,0 +1,140 @@
+"""Gradient synchronization points for the DP and SP topology axes.
+
+Two kinds of parameter gradient need post-backward reconciliation once the
+grid grows beyond TP×PP:
+
+- **DP**: every replica holds a full gradient set computed on its batch
+  shard; the replicas are averaged by the compressible
+  :func:`~repro.parallel.collectives.dp_all_reduce` at the backend layer.
+  This module owns the *codec* for that reduce:
+  :func:`build_dp_grad_compressor` maps the run's scheme label onto the
+  gradient wire — sparse schemes get per-replica error feedback (the
+  AGCMPT treatment), quantization applies stateless, and the AE (whose
+  encoder is dimension-bound to the activation hidden size) plus "w/o"
+  stay dense.
+
+- **SP**: ring sequence parallelism shards only the attention QKV
+  projection's *inputs* by sequence block, so each sp rank's QKV
+  weight/bias gradients are partial sums over its block.  Everything else
+  (out-proj, MLP, norms, embeddings) consumes replicated full-sequence
+  activations and already holds full gradients.  :func:`sp_sync_grads`
+  exchanges the per-stage QKV gradient vector around the ring after the
+  schedule loop and sums in rank order — bitwise-identical to the
+  oracle's autograd accumulation at sp <= 2 — while
+  :func:`record_sp_grad_sync_events` logs the matching events on the
+  in-process oracle, where autograd performs the sum natively.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.compression.base import Compressor
+from repro.compression.error_feedback import ErrorFeedbackCompressor
+from repro.compression.notation import scheme_spec
+from repro.parallel.collectives import (
+    CommEvent,
+    CommTracker,
+    dense_bytes,
+    _sum_rank_order,
+)
+
+__all__ = ["build_dp_grad_compressor", "sp_grad_groups", "sp_sync_grads",
+           "record_sp_grad_sync_events"]
+
+#: Seed offset for the DP gradient codec's Random-K stream — disjoint from
+#: the activation-site offsets in runtime.py (layer*2+site and 500+b).
+_DP_SEED_OFFSET = 900
+
+_SP_PARTIAL = re.compile(r"(?:^|\.)layers\.(\d+)\.attn\.qkv_")
+
+
+def build_dp_grad_compressor(config) -> Compressor | None:
+    """The gradient-wire codec for a run's scheme label, or None for dense.
+
+    Top-/Random-K compress the flat gradient vector under per-replica
+    error feedback; quantization applies stateless.  The AE cannot apply
+    (its encoder is shaped for the activation hidden dim, not the
+    parameter count), so AE runs — like "w/o" — reduce dense gradients.
+    """
+    spec = scheme_spec(config.scheme)
+    if spec.family in ("topk", "randomk"):
+        inner = spec.build(config.model.hidden,
+                           seed=config.seed * 1000 + _DP_SEED_OFFSET)
+        return ErrorFeedbackCompressor(inner)
+    if spec.family == "quant":
+        return spec.build(config.model.hidden,
+                          seed=config.seed * 1000 + _DP_SEED_OFFSET)
+    return None
+
+
+def sp_grad_groups(model) -> dict[int, list[tuple[str, object]]]:
+    """Per-stage ``(name, parameter)`` lists needing an SP gradient sync.
+
+    Only parameters whose gradients are partial under ring SP qualify:
+    the QKV projections, grouped by the pipeline stage that owns their
+    layer, each group in sorted-name order (the flattening order both
+    sides of the exchange must agree on).
+    """
+    partition = model.backbone.partition
+    groups: dict[int, list[tuple[str, object]]] = {}
+    for name, p in sorted(model.named_parameters()):
+        m = _SP_PARTIAL.search(name)
+        if m is None or p.grad is None:
+            continue
+        stage = partition.stage_of(int(m.group(1)))
+        groups.setdefault(stage, []).append((name, p))
+    return groups
+
+
+def sp_sync_grads(model, ctx) -> None:
+    """All-reduce this stage's partial QKV gradients around the SP ring.
+
+    Runs inside an mp worker after its schedule loop: flattens the
+    stage's QKV gradients in sorted-name order, exchanges with the sp
+    peers, sums in rank order, and writes the slices back.  Every sp
+    rank participates (the exchange is symmetric); only the designated
+    recorder logs the stage's ``grad_sync`` event.
+    """
+    group = sp_grad_groups(model).get(ctx.stage, [])
+    if not group:
+        return
+    flat = np.concatenate(
+        [np.ascontiguousarray(p.grad, dtype=np.float32).ravel()
+         for _, p in group])
+    peers = ctx.sp_peers()
+    wire = ctx.transport.exchange_issue(peers, flat, timeout=ctx.timeout,
+                                        label="sp grad sync")
+    total = _sum_rank_order(wire.wait(ctx.timeout), peers)
+    offset = 0
+    for _, p in group:
+        n = p.grad.size
+        p.grad = total[offset:offset + n].reshape(p.grad.shape)
+        offset += n
+    if ctx.records:
+        model.tracker.record(_grad_sync_event(flat.size, ctx.sp))
+
+
+def record_sp_grad_sync_events(model, sp: int,
+                               tracker: CommTracker | None = None) -> None:
+    """Oracle-side accounting of the per-stage SP gradient syncs.
+
+    The in-process backward already accumulated the QKV gradients across
+    sequence blocks (autograd does the ring's sum for free), so the
+    oracle only records the events the workers' syncs would have logged:
+    one per stage holding QKV parameters with gradients.
+    """
+    if sp <= 1:
+        return
+    tracker = tracker if tracker is not None else model.tracker
+    groups = sp_grad_groups(model)
+    for stage in sorted(groups):
+        size = sum(p.grad.size for _, p in groups[stage])
+        tracker.record(_grad_sync_event(size, sp))
+
+
+def _grad_sync_event(size: int, sp: int) -> CommEvent:
+    return CommEvent("all_reduce", "sp", "backward", "none",
+                     dense_bytes((size,)), sp, (size,), None, "grad_sync")

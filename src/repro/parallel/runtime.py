@@ -50,6 +50,16 @@ def _default_schedule() -> str:
     return os.environ.get("REPRO_SCHEDULE", "gpipe")
 
 
+def _default_dp() -> int:
+    """Data-parallel degree, overridable via ``REPRO_DP`` (CI matrix)."""
+    return int(os.environ.get("REPRO_DP", "1"))
+
+
+def _default_sp() -> int:
+    """Sequence-parallel degree, overridable via ``REPRO_SP`` (CI matrix)."""
+    return int(os.environ.get("REPRO_SP", "1"))
+
+
 @dataclass
 class ModelParallelConfig:
     """One experimental setting: model × layout × compression scheme.
@@ -78,10 +88,18 @@ class ModelParallelConfig:
     backend: str = field(default_factory=_default_backend)
     pipeline_schedule: str = field(default_factory=_default_schedule)
     num_microbatches: int = 1
+    dp: int = field(default_factory=_default_dp)
+    sp: int = field(default_factory=_default_sp)
+
+    @property
+    def world_size(self) -> int:
+        """Ranks the layout occupies: dp·pp·sp·tp."""
+        return self.dp * self.pp * self.sp * self.tp
 
     def __post_init__(self):
         from repro.parallel.backend.base import BACKEND_NAMES
         from repro.parallel.pipeline import SCHEDULES
+        from repro.parallel.topology import TopologyError, validate_grid
 
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
@@ -94,6 +112,18 @@ class ModelParallelConfig:
             )
         if self.num_microbatches < 1:
             raise ValueError("num_microbatches must be >= 1")
+        # Typed grid validation up front: a bad axis must fail here, with
+        # the axis named, not deep inside worker spawn.
+        validate_grid(self.dp, self.tp, self.pp, self.sp)
+        if self.sp > 1 and self.tp != 1:
+            raise TopologyError(
+                f"ring sequence parallelism (sp={self.sp}) composes with "
+                f"pp/dp but not tp (got tp={self.tp}): both axes would "
+                f"shard the same attention heads", axis="sp")
+        if self.sp > 1 and self.model.max_seq_len % self.sp != 0:
+            raise TopologyError(
+                f"sp={self.sp} must divide max_seq_len={self.model.max_seq_len}",
+                axis="sp")
         if self.policy is None:
             if self.scheme == "w/o":
                 self.policy = CompressionPolicy.none(self.model.num_layers)
@@ -104,7 +134,9 @@ class ModelParallelConfig:
         if self.pp > self.model.num_layers:
             raise ValueError("pp cannot exceed the number of layers")
         if self.model.num_heads % self.tp != 0:
-            raise ValueError("num_heads must be divisible by tp")
+            raise TopologyError(
+                f"num_heads={self.model.num_heads} must be divisible by "
+                f"tp={self.tp}", axis="tp")
 
 
 class _ModelParallelBackbone(Module):
@@ -122,7 +154,8 @@ class _ModelParallelBackbone(Module):
         self.embed_ln = LayerNorm(mc.hidden)
         self.embed_dropout = Dropout(mc.dropout, rng)
         self.layers = ModuleList(
-            ParallelTransformerLayer(mc, config.tp, rng) for _ in range(mc.num_layers)
+            ParallelTransformerLayer(mc, config.tp, rng, sp=config.sp)
+            for _ in range(mc.num_layers)
         )
 
         # Per-site compressor instances. Sparsification/quantization are

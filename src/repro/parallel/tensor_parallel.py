@@ -21,8 +21,15 @@ from repro.nn.attention import MultiHeadAttention, attention_core
 from repro.nn.layers import Dropout, LayerNorm, Linear
 from repro.nn.module import Module, Parameter
 from repro.nn.transformer import TransformerConfig, TransformerLayer
-from repro.parallel.backend.context import spmd_ranks
-from repro.parallel.collectives import CommTracker, tp_all_reduce, tp_broadcast
+from repro.parallel.backend.context import spmd_ranks, spmd_sp_ranks
+from repro.parallel.collectives import (
+    CommTracker,
+    sp_ring_account,
+    sp_seq_all_gather,
+    sp_slice,
+    tp_all_reduce,
+    tp_broadcast,
+)
 from repro.tensor import Tensor, functional as F
 
 __all__ = [
@@ -190,13 +197,16 @@ class ParallelAttention(Module):
     """Tensor-parallel multi-head attention: heads sharded across ranks."""
 
     def __init__(self, hidden: int, num_heads: int, tp: int, rng: np.random.Generator,
-                 dropout: float = 0.0, init_std: float = 0.02):
+                 dropout: float = 0.0, init_std: float = 0.02, sp: int = 1):
         super().__init__()
         if num_heads % tp != 0:
             raise ValueError(f"num_heads={num_heads} not divisible by tp={tp}")
+        if sp > 1 and tp != 1:
+            raise ValueError(f"ring sequence parallelism requires tp=1, got tp={tp}")
         self.hidden = hidden
         self.num_heads = num_heads
         self.tp = tp
+        self.sp = sp
         self.heads_per_rank = num_heads // tp
         self.head_dim = hidden // num_heads
         self.qkv = self._build_qkv_shards(
@@ -238,6 +248,7 @@ class ParallelAttention(Module):
         obj.hidden = serial.hidden
         obj.num_heads = serial.num_heads
         obj.tp = tp
+        obj.sp = 1
         obj.heads_per_rank = serial.num_heads // tp
         obj.head_dim = serial.head_dim
         obj._build_qkv_shards(serial.qkv.weight.data, serial.qkv.bias.data)
@@ -254,6 +265,9 @@ class ParallelAttention(Module):
         *,
         layer: int | None = None,
     ) -> Tensor:
+        if self.sp > 1:
+            return self._sp_forward(x, compressor, tracker, attention_mask,
+                                    layer=layer)
         x = tp_broadcast(x, self.tp, tracker, layer=layer, site="attn")
         b, s, _ = x.shape
         slice_w = self.hidden // self.tp
@@ -271,6 +285,59 @@ class ParallelAttention(Module):
             out = out + self.out.bias
         return self.dropout(out)
 
+    def _sp_forward(
+        self,
+        x: Tensor,
+        compressor: Compressor,
+        tracker: CommTracker,
+        attention_mask: np.ndarray | None,
+        *,
+        layer: int | None = None,
+    ) -> Tensor:
+        """Ring sequence parallelism (sp > 1, tp == 1).
+
+        The replicated layer input is sliced by sequence block; each sp
+        rank projects Q/K/V for its block, the K/V blocks are ring-gathered
+        to the full sequence, each rank attends its query block against the
+        full keys/values, and the context blocks are all-gathered back.
+        Everything outside the attention core (out-proj, residual, MLP)
+        runs replicated on the full sequence — which is exactly why the
+        backward of the context gather needs no wire traffic.
+        """
+        b, s, h = x.shape
+        sp = self.sp
+        blk_s = s // sp if s % sp == 0 else None
+        if blk_s is None:
+            raise ValueError(f"sequence length {s} not divisible by sp={sp}")
+        weight, bias = self._qkv_weights[0], self._qkv_biases[0]
+        q_blocks, k_blocks, v_blocks = [], [], []
+        ranks = spmd_sp_ranks(sp)
+        for r in ranks:
+            x_r = sp_slice(x, sp, r)
+            qkv = x_r @ weight + bias
+            q_blocks.append(self._split_heads(qkv[:, :, :h], b, blk_s))
+            k_blocks.append(self._split_heads(qkv[:, :, h : 2 * h], b, blk_s))
+            v_blocks.append(self._split_heads(qkv[:, :, 2 * h :], b, blk_s))
+        k_full = sp_seq_all_gather(k_blocks, sp, reduce_backward=True,
+                                   label="sp kv gather")
+        v_full = sp_seq_all_gather(v_blocks, sp, reduce_backward=True,
+                                   label="sp kv gather")
+        ctx_blocks = [
+            attention_core(q, k_full, v_full, attention_mask) for q in q_blocks
+        ]
+        ctx_full = sp_seq_all_gather(ctx_blocks, sp, reduce_backward=False,
+                                     label="sp ctx gather")
+        merged = ctx_full.transpose(0, 2, 1, 3).reshape(b, s, h)
+        merged = sp_ring_account(merged, tracker, sp=sp, shape=(b, s, h),
+                                 block_shape=(b, blk_s, h), layer=layer,
+                                 site="attn")
+        partials = self.out([merged])
+        out = tp_all_reduce(partials, compressor, tracker, layer=layer,
+                            site="attn")
+        if self.out.bias is not None:
+            out = out + self.out.bias
+        return self.dropout(out)
+
     def _split_heads(self, x: Tensor, b: int, s: int) -> Tensor:
         return x.reshape(b, s, self.heads_per_rank, self.head_dim).transpose(0, 2, 1, 3)
 
@@ -284,11 +351,14 @@ class ParallelTransformerLayer(Module):
     are learnable and site-specific).
     """
 
-    def __init__(self, config: TransformerConfig, tp: int, rng: np.random.Generator):
+    def __init__(self, config: TransformerConfig, tp: int, rng: np.random.Generator,
+                 sp: int = 1):
         super().__init__()
         self.tp = tp
+        self.sp = sp
         self.attn = ParallelAttention(config.hidden, config.num_heads, tp, rng,
-                                      dropout=config.dropout, init_std=config.init_std)
+                                      dropout=config.dropout, init_std=config.init_std,
+                                      sp=sp)
         self.ln1 = LayerNorm(config.hidden)
         self.mlp = ParallelMLP(config.hidden, config.ffn_hidden, tp, rng,
                                init_std=config.init_std)
@@ -300,6 +370,7 @@ class ParallelTransformerLayer(Module):
         obj = cls.__new__(cls)
         Module.__init__(obj)
         obj.tp = tp
+        obj.sp = 1
         obj.attn = ParallelAttention.from_serial(serial.attn, tp)
         obj.ln1 = serial.ln1
         obj.mlp = ParallelMLP.from_serial(serial.fc1, serial.fc2, tp)

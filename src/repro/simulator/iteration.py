@@ -71,6 +71,11 @@ class SimSetting:
     #: default — keeps every homogeneous code path bitwise-identical to
     #: the pinned bench baselines.
     links: "LinkModel | None" = None
+    #: Data-parallel replicas and ring sequence-parallel degree.  At the
+    #: defaults (1, 1) every sum below gains exactly ``+ 0.0`` — bitwise
+    #: neutral, so the pinned bench baselines are unchanged.
+    dp: int = 1
+    sp: int = 1
 
     def __post_init__(self):
         if self.schedule not in SCHEDULES:
@@ -83,8 +88,13 @@ class SimSetting:
                 self.policy = CompressionPolicy.none(self.model.num_layers)
             else:
                 self.policy = CompressionPolicy.default(self.model.num_layers)
-        # Validates tp·pp == world size.
-        self.layout = ParallelLayout(self.topology, self.tp, self.pp)
+        if self.sp > 1 and self.tp != 1:
+            raise ValueError("ring sequence parallelism requires tp == 1")
+        if self.sp > 1 and self.seq % self.sp != 0:
+            raise ValueError(f"seq={self.seq} not divisible by sp={self.sp}")
+        # Validates dp·pp·sp·tp == world size.
+        self.layout = ParallelLayout(self.topology, self.tp, self.pp,
+                                     dp=self.dp, sp=self.sp)
         self.partition = PipelinePartition.balanced(self.model.num_layers, self.pp)
         if self.num_microbatches <= 0:
             raise ValueError("num_microbatches must be positive")
@@ -107,11 +117,17 @@ class IterationBreakdown:
     #: :attr:`total_ms` — the Forward and Backward columns each contain
     #: their full makespan, so their sum double-counts this window.
     overlap_ms: float = 0.0
+    #: Per-iteration DP gradient all-reduce and SP ring-exchange comm;
+    #: exactly 0.0 at dp = sp = 1, keeping total_ms bitwise-unchanged
+    #: for every pre-grid setting.
+    dp_comm_ms: float = 0.0
+    sp_comm_ms: float = 0.0
 
     @property
     def total_ms(self) -> float:
         return (self.forward_ms + self.backward_ms + self.optimizer_ms
-                + self.pipeline_ms - self.overlap_ms)
+                + self.pipeline_ms - self.overlap_ms
+                + self.dp_comm_ms + self.sp_comm_ms)
 
 
 class IterationSimulator:
@@ -212,6 +228,54 @@ class IterationSimulator:
         if self.s.tp <= 1:
             return 0.0
         return self._tp_allreduce_ms(self._dense_bytes(), stage)
+
+    # ------------------------------------------------------------------
+    # DP / SP axes (closed-form per-iteration comm volumes)
+    # ------------------------------------------------------------------
+    def _model_param_count(self) -> int:
+        """Closed-form parameter count of the model (the DP wire volume)."""
+        mdl = self.s.model
+        h, f = mdl.hidden, mdl.ffn_hidden
+        per_layer = ((h * 3 * h + 3 * h)      # qkv projection
+                     + (h * h + h)            # out projection
+                     + 2 * (2 * h)            # two layer norms
+                     + (h * f + f)            # fc1
+                     + (f * h + h))           # fc2
+        emb = mdl.vocab_size * h + mdl.max_seq_len * h + 2 * h
+        return mdl.num_layers * per_layer + emb
+
+    def dp_comm_ms(self) -> float:
+        """The once-per-iteration DP gradient sync over the flat parameter
+        vector; compressed schemes ship (all-gather) their sparse/quantized
+        payloads exactly as the runtime's ``dp_all_reduce`` does."""
+        s = self.s
+        if s.dp <= 1:
+            return 0.0
+        n = self._model_param_count()
+        link = s.layout.dp_link()
+        fam = self.spec.family
+        if fam in ("topk", "randomk"):
+            k = int(round(self.spec.fraction * n))
+            return allgather_time(k * (BYTES_FP16 + 4), s.dp, link, self.cal)
+        if fam == "quant":
+            groups = -(-n // 256)
+            nbytes = n * self.spec.bits // 8 + 2 * groups * BYTES_FP16
+            return allgather_time(nbytes, s.dp, link, self.cal)
+        # "w/o" and AE reduce dense: the AE's encoder is dimension-bound
+        # to the activation hidden size and cannot eat a parameter vector.
+        return allreduce_time(n * BYTES_FP16, s.dp, link, self.cal)
+
+    def sp_comm_ms(self) -> float:
+        """Ring sequence-parallel exchange at every attention boundary:
+        per layer and microbatch, each direction moves the K/V/ctx block
+        triple around the sp ring (an all-gather of 3 sequence blocks)."""
+        s = self.s
+        if s.sp <= 1:
+            return 0.0
+        blk = s.micro_batch * (s.seq // s.sp) * s.model.hidden * BYTES_FP16
+        per_exchange = allgather_time(3 * blk, s.sp, s.layout.sp_link(0),
+                                      self.cal)
+        return s.model.num_layers * s.num_microbatches * 2 * per_exchange
 
     # ------------------------------------------------------------------
     # Pipeline boundaries
@@ -415,6 +479,8 @@ class IterationSimulator:
             decode_ms=dec_total,
             tensor_comm_ms=fwd_comm_total,
             overlap_ms=overlap_ms,
+            dp_comm_ms=self.dp_comm_ms(),
+            sp_comm_ms=self.sp_comm_ms(),
         )
 
     def total_ms(self) -> float:

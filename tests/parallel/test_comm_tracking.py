@@ -189,7 +189,7 @@ class TestCollectiveOps:
         with pytest.raises(ValueError, match="unknown op"):
             CommEvent(**{**good, "op": "allreduce"})
         with pytest.raises(ValueError, match="unknown group"):
-            CommEvent(**{**good, "group": "dp"})
+            CommEvent(**{**good, "group": "ep"})
         with pytest.raises(ValueError, match="unknown phase"):
             CommEvent(**{**good, "phase": "fwd"})
         with pytest.raises(ValueError, match="wire_bytes"):
